@@ -1,0 +1,79 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Environment knobs (all optional):
+
+* ``REPRO_BENCH_SCALE``  -- input-size multiplier (default 1.0, the designed
+  sizes whose footprint/cache ratios match the paper's regime).
+* ``REPRO_BENCH_APPS``   -- comma-separated subset of the 21 applications to
+  run for the headline figures (default: all).
+* ``REPRO_BENCH_SWEEP_APPS`` -- subset used by the parameter sweeps
+  (Figures 9-11), which multiply the run count by 4-10x; defaults to a
+  6-app mix of regular and irregular codes.
+
+Each benchmark executes its experiment exactly once (``pedantic`` with one
+round): the interesting output is the printed table, the timing is just a
+record of the harness cost.
+"""
+
+import os
+import sys
+
+import pytest
+
+DEFAULT_SWEEP_APPS = "mxm,swim,nbf"
+DEFAULT_HEADLINE_APPS = (
+    "barnes,volrend,water,cholesky,fft,lu,mxm,nbf,equake,diff"
+)
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_apps():
+    raw = os.environ.get("REPRO_BENCH_APPS", "").strip()
+    return [a.strip() for a in raw.split(",") if a.strip()] or None
+
+
+def sweep_apps():
+    raw = os.environ.get("REPRO_BENCH_SWEEP_APPS", DEFAULT_SWEEP_APPS)
+    return [a.strip() for a in raw.split(",") if a.strip()]
+
+
+def headline_apps():
+    """Subset for the secondary per-app figures (2, 12, 14, 15); the
+    full 21 run in Figures 7/8.  REPRO_BENCH_APPS overrides."""
+    explicit = bench_apps()
+    if explicit is not None:
+        return explicit
+    return DEFAULT_HEADLINE_APPS.split(",")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a figure function exactly once under pytest-benchmark."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(
+            func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner
+
+
+@pytest.fixture(autouse=True)
+def _tables_reach_the_terminal(capfd):
+    """Re-emit each benchmark's stdout after the test, bypassing capture.
+
+    The tables ARE the reproduction output; without this, passing tests
+    would swallow them and the teed benchmark log would only show timings.
+    (A plain ``disabled()`` around ``yield`` does not help: pytest resumes
+    item-level capture for the test body itself.)
+    """
+    yield
+    out, _ = capfd.readouterr()
+    if out:
+        with capfd.disabled():
+            sys.stdout.write(out)
+            sys.stdout.flush()

@@ -1,0 +1,116 @@
+"""Ablations of design choices DESIGN.md calls out (beyond the paper).
+
+* load balancing on/off            -- how much affinity the balancer costs;
+* within-region placement strategy -- stable vs random vs least-loaded (the
+  paper's "OS option" was ~2% better than random);
+* CAC self-weight                  -- Section 3.9 says the 0.5 is a knob;
+* CME accuracy                     -- mapping quality across the paper's
+  76-93% accuracy band (ties into Figure 15).
+"""
+
+from conftest import bench_scale, sweep_apps
+
+from repro.core.mapping import PlacementStrategy
+from repro.experiments.harness import compare
+from repro.experiments.report import print_table
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.stats import geomean
+from repro.workloads import build_workload
+
+
+def _geomean_time(config, scale, apps, **kwargs):
+    vals = []
+    for name in apps:
+        comparison, _, _ = compare(
+            build_workload(name), config, scale=scale, **kwargs
+        )
+        vals.append(comparison.execution_time_reduction)
+    return geomean(vals)
+
+
+def test_ablation_balancing(run_once):
+    apps = sweep_apps()[:4]
+    scale = bench_scale()
+
+    def run():
+        on = _geomean_time(DEFAULT_CONFIG, scale, apps)
+        off = _geomean_time(
+            DEFAULT_CONFIG, scale, apps, compiler_kwargs={"balance": False}
+        )
+        return {"balanced": on, "unbalanced": off}
+
+    result = run_once(run)
+    print_table(
+        ["variant", "time reduction (%)"],
+        [[k, v] for k, v in result.items()],
+        title="Ablation: load balancing on/off (shared LLC)",
+    )
+    # Without balancing, hotspot regions serialize whole applications:
+    # balancing must not be catastrophically worse.
+    assert result["balanced"] > result["unbalanced"] - 10.0
+
+
+def test_ablation_placement_strategy(run_once):
+    apps = sweep_apps()[:4]
+    scale = bench_scale()
+
+    def run():
+        out = {}
+        for strategy in PlacementStrategy:
+            out[strategy.value] = _geomean_time(
+                DEFAULT_CONFIG, scale, apps,
+                compiler_kwargs={"placement": strategy},
+            )
+        return out
+
+    result = run_once(run)
+    print_table(
+        ["strategy", "time reduction (%)"],
+        [[k, v] for k, v in result.items()],
+        title="Ablation: within-region placement strategy (shared LLC)",
+    )
+    assert result["stable_rr"] >= result["random_balanced"] - 5.0
+
+
+def test_ablation_cac_self_weight(run_once):
+    apps = sweep_apps()[:4]
+    scale = bench_scale()
+
+    def run():
+        out = {}
+        for weight in (0.25, 0.5, 0.75):
+            out[weight] = _geomean_time(
+                DEFAULT_CONFIG, scale, apps,
+                compiler_kwargs={"cac_self_weight": weight},
+            )
+        return out
+
+    result = run_once(run)
+    print_table(
+        ["CAC self weight", "time reduction (%)"],
+        [[k, v] for k, v in result.items()],
+        title="Ablation: CAC self-weight (shared LLC)",
+    )
+    assert all(v > -10.0 for v in result.values())
+
+
+def test_ablation_cme_accuracy(run_once):
+    apps = [a for a in sweep_apps() if build_workload(a).regular][:3]
+    scale = bench_scale()
+
+    def run():
+        out = {}
+        for accuracy in (0.76, 0.85, 0.93, 1.0):
+            out[accuracy] = _geomean_time(
+                DEFAULT_CONFIG, scale, apps, cme_accuracy=accuracy
+            )
+        return out
+
+    result = run_once(run)
+    print_table(
+        ["CME accuracy", "time reduction (%)"],
+        [[k, v] for k, v in result.items()],
+        title="Ablation: CME accuracy band (regular apps, shared LLC)",
+    )
+    # The paper's robustness claim: results degrade gracefully with noise.
+    assert result[0.76] > result[1.0] - 15.0

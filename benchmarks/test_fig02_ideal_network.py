@@ -1,0 +1,35 @@
+"""Figure 2: potential execution-time improvement with an ideal network.
+
+Paper: 14% average for private LLCs, 17.1% for shared LLCs -- the upper
+bound any network optimization can approach.  Shape checks: improvements
+are non-negative and the bound is positive on average.
+"""
+
+from conftest import bench_scale, headline_apps
+
+from repro.experiments.figures import figure02_ideal_network
+from repro.experiments.report import print_table
+from repro.sim.stats import mean
+
+
+def test_figure02(run_once):
+    result = run_once(
+        figure02_ideal_network, apps=headline_apps(), scale=bench_scale()
+    )
+    rows = [
+        [app, vals["private"], vals["shared"]] for app, vals in result.items()
+    ]
+    rows.append([
+        "MEAN",
+        mean([v["private"] for v in result.values()]),
+        mean([v["shared"] for v in result.values()]),
+    ])
+    print_table(
+        ["benchmark", "private LLC (%)", "shared LLC (%)"],
+        rows,
+        title="Figure 2: execution-time improvement with a zero-latency network",
+    )
+    avg_private = mean([v["private"] for v in result.values()])
+    avg_shared = mean([v["shared"] for v in result.values()])
+    assert avg_private > 0.0
+    assert avg_shared > 0.0

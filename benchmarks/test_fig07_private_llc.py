@@ -1,0 +1,35 @@
+"""Figure 7: the private-LLC headline result.
+
+Paper: (a) avg MAI estimation error 7.9%; (b) avg 38.4% network latency
+reduction and 10.9% execution time reduction; (c) runtime overheads
+0.7-19.5%, avg 2.9%.  Shape checks: errors small, average reductions
+positive, overheads within a sane band.
+"""
+
+from conftest import bench_apps, bench_scale
+
+from repro.experiments.figures import figure07_private, summarize
+from repro.experiments.report import print_table
+from repro.sim.stats import mean
+
+
+def test_figure07(run_once):
+    result = run_once(
+        figure07_private, apps=bench_apps(), scale=bench_scale()
+    )
+    metrics = [
+        "mai_error", "net_reduction", "time_reduction", "overhead",
+    ]
+    rows = [[app] + [vals[m] for m in metrics] for app, vals in result.items()]
+    summary = summarize(result)
+    rows.append(["GEOMEAN"] + [summary[m] for m in metrics])
+    print_table(
+        ["benchmark", "MAI err", "net red (%)", "time red (%)", "ovh (%)"],
+        rows,
+        title="Figure 7: private LLC -- MAI error, reductions, overheads",
+        float_fmt="{:.2f}",
+    )
+    assert mean([v["mai_error"] for v in result.values()]) < 0.25
+    assert mean([v["net_reduction"] for v in result.values()]) > 0.0
+    assert mean([v["time_reduction"] for v in result.values()]) > 0.0
+    assert all(0.0 <= v["overhead"] < 25.0 for v in result.values())

@@ -1,0 +1,37 @@
+"""Figure 8: the shared-LLC (S-NUCA) headline result.
+
+Paper: (a) avg MAI error 11%, CAI error 14%; (b) avg 43.8% network latency
+reduction, 12.7% execution time reduction; (c) overheads similar to the
+private case.  Shape checks: errors small, average reductions positive.
+"""
+
+from conftest import bench_apps, bench_scale
+
+from repro.experiments.figures import figure08_shared, summarize
+from repro.experiments.report import print_table
+from repro.sim.stats import mean
+
+
+def test_figure08(run_once):
+    result = run_once(
+        figure08_shared, apps=bench_apps(), scale=bench_scale()
+    )
+    metrics = [
+        "mai_error", "cai_error", "net_reduction", "time_reduction", "overhead",
+    ]
+    rows = [[app] + [vals[m] for m in metrics] for app, vals in result.items()]
+    summary = summarize(result)
+    rows.append(["GEOMEAN"] + [summary[m] for m in metrics])
+    print_table(
+        [
+            "benchmark", "MAI err", "CAI err",
+            "net red (%)", "time red (%)", "ovh (%)",
+        ],
+        rows,
+        title="Figure 8: shared LLC -- MAI/CAI error, reductions, overheads",
+        float_fmt="{:.2f}",
+    )
+    assert mean([v["mai_error"] for v in result.values()]) < 0.25
+    assert mean([v["cai_error"] for v in result.values()]) < 0.25
+    assert mean([v["net_reduction"] for v in result.values()]) > 0.0
+    assert mean([v["time_reduction"] for v in result.values()]) > 0.0

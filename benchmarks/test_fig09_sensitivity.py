@@ -1,0 +1,45 @@
+"""Figure 9: sensitivity to mesh size, LLC capacity, page size, MC placement.
+
+Paper shapes: a larger (8x8) mesh increases the savings; a larger LLC
+decreases them; a larger page decreases them; moving the MCs to edge
+middles changes little.
+"""
+
+from conftest import bench_scale, sweep_apps
+
+from repro.experiments.figures import figure09_sensitivity
+from repro.experiments.report import print_table
+
+
+def test_figure09(run_once):
+    result = run_once(
+        figure09_sensitivity, apps=sweep_apps(), scale=bench_scale()
+    )
+    rows = []
+    for variant, orgs in result.items():
+        rows.append([
+            variant,
+            orgs["private"]["net_reduction"],
+            orgs["private"]["time_reduction"],
+            orgs["shared"]["net_reduction"],
+            orgs["shared"]["time_reduction"],
+        ])
+    print_table(
+        [
+            "variant", "pv net (%)", "pv time (%)",
+            "sh net (%)", "sh time (%)",
+        ],
+        rows,
+        title="Figure 9: sensitivity study (geomeans)",
+    )
+    default = result["Default Parameters"]
+    # Shape: every variant still shows positive time savings on average.
+    for variant, orgs in result.items():
+        for org in ("private", "shared"):
+            assert orgs[org]["time_reduction"] > -5.0, (variant, org)
+    # Larger mesh helps at least one organization's network latency.
+    big = result["8x8 Network"]
+    assert (
+        big["private"]["net_reduction"] >= default["private"]["net_reduction"] - 5
+        or big["shared"]["net_reduction"] >= default["shared"]["net_reduction"] - 5
+    )

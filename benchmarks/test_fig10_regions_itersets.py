@@ -1,0 +1,70 @@
+"""Figure 10: sensitivity to region count (a/b) and iteration-set size (c/d).
+
+Paper shapes: very few regions lose location awareness (poor), mid-range is
+near-optimal, going beyond ~9-18 regions adds little; small iteration sets
+are important (large ones smooth away the per-set affinity differences).
+"""
+
+from conftest import bench_scale, sweep_apps
+
+from repro.experiments.figures import figure10_iteration_sets, figure10_regions
+from repro.experiments.report import print_table
+
+
+def test_figure10_regions(run_once):
+    result = run_once(
+        figure10_regions, apps=sweep_apps(), scale=bench_scale(),
+        region_counts=(4, 6, 9, 18, 36),
+    )
+    rows = []
+    for count in (4, 6, 9, 18, 36):
+        rows.append([
+            count,
+            result["private"][count]["net_reduction"],
+            result["private"][count]["time_reduction"],
+            result["shared"][count]["net_reduction"],
+            result["shared"][count]["time_reduction"],
+        ])
+    print_table(
+        ["regions", "pv net (%)", "pv time (%)", "sh net (%)", "sh time (%)"],
+        rows,
+        title="Figure 10a/b: region-count sweep (geomeans)",
+    )
+    # Shape: the default (9) does at least as well as the coarsest (4)
+    # on network latency for at least one organization.
+    assert (
+        result["private"][9]["net_reduction"]
+        >= result["private"][4]["net_reduction"] - 5
+        or result["shared"][9]["net_reduction"]
+        >= result["shared"][4]["net_reduction"] - 5
+    )
+
+
+def test_figure10_iteration_sets(run_once):
+    fractions = (0.001, 0.0025, 0.005, 0.01, 0.02)
+    result = run_once(
+        figure10_iteration_sets, apps=sweep_apps(), scale=bench_scale(),
+        fractions=fractions,
+    )
+    rows = []
+    for fraction in fractions:
+        rows.append([
+            f"{fraction:.3%}",
+            result["private"][fraction]["net_reduction"],
+            result["private"][fraction]["time_reduction"],
+            result["shared"][fraction]["net_reduction"],
+            result["shared"][fraction]["time_reduction"],
+        ])
+    print_table(
+        ["set size", "pv net (%)", "pv time (%)", "sh net (%)", "sh time (%)"],
+        rows,
+        title="Figure 10c/d: iteration-set-size sweep (geomeans)",
+    )
+    # Shape: the default small size beats the coarsest sweep point on
+    # network latency for at least one organization.
+    assert (
+        result["private"][0.0025]["net_reduction"]
+        >= result["private"][0.02]["net_reduction"] - 5
+        or result["shared"][0.0025]["net_reduction"]
+        >= result["shared"][0.02]["net_reduction"] - 5
+    )

@@ -1,0 +1,31 @@
+"""Figure 11: (cache-bank, memory-bank) data distribution combinations.
+
+Paper shape: "our approach performs quite well in all combinations" --
+every combination keeps a positive average execution-time improvement.
+Our line-interleaved cache-bank combos are expected to show smaller
+shared-LLC gains (placement cannot shorten uniformly spread hits; see
+DESIGN.md), which is exactly what this table documents.
+"""
+
+from conftest import bench_scale, sweep_apps
+
+from repro.experiments.figures import figure11_distribution
+from repro.experiments.report import print_table
+
+
+def test_figure11(run_once):
+    result = run_once(
+        figure11_distribution, apps=sweep_apps(), scale=bench_scale()
+    )
+    rows = [
+        [combo, orgs["private"], orgs["shared"]]
+        for combo, orgs in result.items()
+    ]
+    print_table(
+        ["(cache, memory) granularity", "private (%)", "shared (%)"],
+        rows,
+        title="Figure 11: execution-time improvement per distribution combo",
+    )
+    for combo, orgs in result.items():
+        assert orgs["private"] > -5.0, combo
+        assert orgs["shared"] > -5.0, combo

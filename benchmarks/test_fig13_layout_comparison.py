@@ -1,0 +1,35 @@
+"""Figure 13: LA vs data-layout optimization (DO) vs LA+DO.
+
+Paper shapes over six regular applications: LA beats DO on most, DO wins
+on layout-friendly codes (swim, mxm in the paper), and composing them
+(LA+DO) adds benefit over DO alone in all but the app where DO already
+saturates the opportunity.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.figures import figure13_layout
+from repro.experiments.report import print_table
+from repro.workloads import LAYOUT_COMPARISON_APPS
+
+
+def test_figure13(run_once):
+    # Cap the scale: the six Figure 13 apps include the heaviest
+    # kernels and DO/LA+DO add two extra full runs per app/org.
+    result = run_once(figure13_layout, scale=min(0.6, bench_scale()))
+    rows = []
+    for app, orgs in result.items():
+        for org in ("private", "shared"):
+            row = orgs[org]
+            rows.append([app, org, row["LA"], row["DO"], row["LA+DO"]])
+    print_table(
+        ["benchmark", "LLC", "LA (%)", "DO (%)", "LA+DO (%)"],
+        rows,
+        title="Figure 13: computation mapping vs data layout optimization",
+    )
+    assert set(result) == set(LAYOUT_COMPARISON_APPS)
+    # Shape: on average the combination is at least as good as DO alone.
+    for org in ("private", "shared"):
+        avg_do = sum(result[a][org]["DO"] for a in result) / len(result)
+        avg_both = sum(result[a][org]["LA+DO"] for a in result) / len(result)
+        assert avg_both >= avg_do - 8.0

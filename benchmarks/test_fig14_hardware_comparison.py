@@ -1,0 +1,50 @@
+"""Figure 14: compiler-based LA vs the hardware/OS placement of Das et al.
+
+Paper shapes: the hardware scheme performs poorly for shared LLCs (it only
+reasons about core-to-MC distance, not the dominant L2-side traffic) and,
+even for private LLCs where it is sensible, LA wins because the threads of
+one parallel loop have near-identical intensities.
+"""
+
+from conftest import bench_scale, headline_apps
+
+from repro.experiments.figures import figure14_hardware
+from repro.experiments.report import print_table
+from repro.sim.stats import geomean
+
+
+def test_figure14(run_once):
+    result = run_once(
+        figure14_hardware, apps=headline_apps()[:8], scale=bench_scale()
+    )
+    rows = []
+    for app, orgs in result.items():
+        rows.append([
+            app,
+            orgs["private"]["compiler"],
+            orgs["private"]["hardware"],
+            orgs["shared"]["compiler"],
+            orgs["shared"]["hardware"],
+        ])
+    rows.append([
+        "GEOMEAN",
+        geomean([v["private"]["compiler"] for v in result.values()]),
+        geomean([v["private"]["hardware"] for v in result.values()]),
+        geomean([v["shared"]["compiler"] for v in result.values()]),
+        geomean([v["shared"]["hardware"] for v in result.values()]),
+    ])
+    print_table(
+        [
+            "benchmark", "LA pv (%)", "HW pv (%)",
+            "LA sh (%)", "HW sh (%)",
+        ],
+        rows,
+        title="Figure 14: compiler vs hardware-based computation placement",
+    )
+    # Shape: LA beats the hardware scheme on average, in both organizations.
+    la_pv = geomean([v["private"]["compiler"] for v in result.values()])
+    hw_pv = geomean([v["private"]["hardware"] for v in result.values()])
+    la_sh = geomean([v["shared"]["compiler"] for v in result.values()])
+    hw_sh = geomean([v["shared"]["hardware"] for v in result.values()])
+    assert la_pv > hw_pv - 2.0
+    assert la_sh > hw_sh - 2.0

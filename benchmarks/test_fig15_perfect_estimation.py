@@ -1,0 +1,41 @@
+"""Figure 15: perfect MAI/CAI/CME estimation ("optimality" check).
+
+Paper shape: results with 100%-accurate estimation "are not much better
+than the corresponding savings" with realistic estimation -- the approach
+is robust to estimation error.
+"""
+
+from conftest import bench_scale, headline_apps
+
+from repro.experiments.figures import figure15_perfect_estimation
+from repro.experiments.report import print_table
+from repro.sim.stats import geomean
+
+
+def test_figure15(run_once):
+    result = run_once(
+        # 8 simulated runs per app: slice the subset further.
+        figure15_perfect_estimation, apps=headline_apps()[:6], scale=bench_scale()
+    )
+    rows = []
+    for app, orgs in result.items():
+        rows.append([
+            app,
+            orgs["private"]["realistic"],
+            orgs["private"]["perfect"],
+            orgs["shared"]["realistic"],
+            orgs["shared"]["perfect"],
+        ])
+    print_table(
+        [
+            "benchmark", "pv real (%)", "pv perfect (%)",
+            "sh real (%)", "sh perfect (%)",
+        ],
+        rows,
+        title="Figure 15: realistic vs perfect estimation",
+    )
+    # Shape: perfect estimation is not dramatically better on average.
+    for org in ("private", "shared"):
+        real = geomean([v[org]["realistic"] for v in result.values()])
+        perfect = geomean([v[org]["perfect"] for v in result.values()])
+        assert perfect <= real + 15.0, (org, real, perfect)

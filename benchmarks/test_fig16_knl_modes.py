@@ -1,0 +1,29 @@
+"""Figure 16: KNL-like cluster modes, original vs location-aware.
+
+Paper shapes: LA improves every mode; optimized all-to-all beats original
+quadrant; the best configuration is LA combined with SNC-4/quadrant.
+"""
+
+from conftest import bench_scale, sweep_apps
+
+from repro.experiments.figures import figure16_knl_modes
+from repro.experiments.report import print_table
+
+
+def test_figure16(run_once):
+    result = run_once(figure16_knl_modes, apps=sweep_apps(), scale=bench_scale())
+    rows = [[label, vals["geomean"]] for label, vals in result.items()]
+    print_table(
+        ["configuration", "improvement vs original all-to-all (%)"],
+        rows,
+        title="Figure 16: KNL cluster modes",
+    )
+    # Shape: every optimized mode improves on the original all-to-all.
+    assert result["Optimized all-to-all"]["geomean"] > 0.0
+    assert result["Optimized quadrant"]["geomean"] > 0.0
+    assert result["Optimized SNC-4"]["geomean"] > 0.0
+    # Shape: optimizing all-to-all is competitive with plain quadrant.
+    assert (
+        result["Optimized all-to-all"]["geomean"]
+        >= result["Original quadrant"]["geomean"] - 5.0
+    )

@@ -1,0 +1,36 @@
+"""Figure 17: KNL improvements at 1x / 2x / 4x input sizes.
+
+Paper shape: relative improvement grows (or at least does not shrink much)
+with input size, because the unoptimized mapping degrades faster.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.figures import figure17_knl_scaling
+from repro.experiments.report import print_table
+from repro.sim.stats import mean
+from repro.workloads import KNL_SCALING_APPS
+
+
+def test_figure17(run_once):
+    # The paper scales 9 apps; cap the base so 4x stays tractable.
+    base = min(0.35, bench_scale() / 3)
+    result = run_once(
+        figure17_knl_scaling,
+        apps=KNL_SCALING_APPS[:5],
+        base_scale=base,
+        factors=(1.0, 2.0, 4.0),
+    )
+    rows = [
+        [app, factors[1.0], factors[2.0], factors[4.0]]
+        for app, factors in result.items()
+    ]
+    print_table(
+        ["benchmark", "1x (%)", "2x (%)", "4x (%)"],
+        rows,
+        title="Figure 17: KNL improvements vs input size (quadrant mode)",
+    )
+    avg1 = mean([f[1.0] for f in result.values()])
+    avg4 = mean([f[4.0] for f in result.values()])
+    # Shape: larger inputs keep (or grow) the improvement on average.
+    assert avg4 >= avg1 - 5.0

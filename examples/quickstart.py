@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: optimize one application and compare against the baseline.
+
+Runs the dense matrix-multiply benchmark on the default (Table 4-scaled)
+6x6 machine with a shared S-NUCA LLC, first with the round-robin default
+mapping and then with the paper's location-aware mapping, and prints what
+changed.
+
+    python examples/quickstart.py [scale]
+"""
+
+import sys
+
+from repro import DEFAULT_CONFIG, build_workload, compare
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    workload = build_workload("mxm")
+    print(f"workload: {workload.name} ({workload.description}), "
+          f"scale {scale}")
+    print(f"machine:  {DEFAULT_CONFIG.mesh_width}x"
+          f"{DEFAULT_CONFIG.mesh_height} mesh, "
+          f"{DEFAULT_CONFIG.llc_organization.value} LLC")
+    print()
+
+    comparison, base, opt = compare(
+        workload, DEFAULT_CONFIG, scale=scale, observe=True
+    )
+
+    b, o = base.stats, opt.stats
+    print(f"{'':24s}{'default':>12s}{'location-aware':>16s}")
+    print(f"{'execution cycles':24s}{b.execution_cycles:>12,}"
+          f"{o.execution_cycles:>16,}")
+    print(f"{'avg network latency':24s}{b.avg_network_latency:>12.1f}"
+          f"{o.avg_network_latency:>16.1f}")
+    print(f"{'avg hops / packet':24s}{b.avg_hops:>12.2f}{o.avg_hops:>16.2f}")
+    print(f"{'LLC miss rate':24s}{b.llc_miss_rate:>12.2f}"
+          f"{o.llc_miss_rate:>16.2f}")
+    print()
+    print(f"network latency reduction: "
+          f"{comparison.network_latency_reduction:6.1f}%")
+    print(f"execution time reduction:  "
+          f"{comparison.execution_time_reduction:6.1f}%")
+    errors = opt.mai_errors()
+    if errors:
+        print(f"MAI estimation error:      "
+              f"{sum(errors) / len(errors):6.3f} (eta, lower is better)")
+
+
+if __name__ == "__main__":
+    main()

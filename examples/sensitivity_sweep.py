@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Sensitivity sweep: how the savings react to hardware parameters.
+
+A compact version of Figure 9 plus the Figure 10 region sweep, over a
+configurable set of applications.
+
+    python examples/sensitivity_sweep.py [apps_csv] [scale]
+"""
+
+import sys
+
+from repro.experiments.figures import figure09_sensitivity, figure10_regions
+from repro.experiments.report import print_table
+
+
+def main() -> None:
+    apps = (
+        sys.argv[1].split(",") if len(sys.argv) > 1
+        else ["mxm", "jacobi-3d", "nbf"]
+    )
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.6
+
+    print(f"apps: {apps}, scale {scale}")
+
+    sensitivity = figure09_sensitivity(apps=apps, scale=scale)
+    print_table(
+        ["variant", "pv net (%)", "pv time (%)", "sh net (%)", "sh time (%)"],
+        [
+            [
+                variant,
+                orgs["private"]["net_reduction"],
+                orgs["private"]["time_reduction"],
+                orgs["shared"]["net_reduction"],
+                orgs["shared"]["time_reduction"],
+            ]
+            for variant, orgs in sensitivity.items()
+        ],
+        title="Hardware sensitivity (Figure 9)",
+    )
+
+    regions = figure10_regions(
+        apps=apps, scale=scale, region_counts=(4, 9, 36)
+    )
+    print_table(
+        ["regions", "pv time (%)", "sh time (%)"],
+        [
+            [
+                count,
+                regions["private"][count]["time_reduction"],
+                regions["shared"][count]["time_reduction"],
+            ]
+            for count in (4, 9, 36)
+        ],
+        title="Region-count sweep (Figure 10a/b)",
+    )
+
+
+if __name__ == "__main__":
+    main()

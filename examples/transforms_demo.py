@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Loop-transformation demo: tiling's locality effect, measured.
+
+Builds a transposed-access nest (B[j][i] read while writing A[i][j]),
+applies the rectangular tiling from ``repro.ir.transforms``, and compares
+the reuse profiles of the two iteration orders with the stack-distance
+machinery from ``repro.cme`` -- the "conventional data locality
+optimizations" the paper's baselines already include (Section 5).
+
+    python examples/transforms_demo.py [N] [tile]
+"""
+
+import sys
+
+from repro.cme.stack import ReuseProfile
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx
+from repro.ir.transforms import tile
+
+LINE_BYTES = 64
+
+
+def reuse_profile(nest, params=None):
+    program = Program("demo", (nest,), default_params=params or {})
+    instance = program.instantiate()
+    dom = instance.nest_domain(0)
+    lines = []
+    for bindings in dom.iterations():
+        for addr, _ in instance.addresses_for(0, bindings):
+            lines.append(addr // LINE_BYTES)
+    return ReuseProfile.from_lines(lines)
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 160
+    tile_size = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    I, J = Idx("i"), Idx("j")
+    A = declare("A", n, n, elem_bytes=8)
+    B = declare("B", n, n, elem_bytes=8)
+    nest = (
+        nest_builder("transpose")
+        .loop("i", 0, n).loop("j", 0, n)
+        .reads(B(J, I)).writes(A(I, J))
+        .build()
+    )
+    tiled = tile(nest, {"i": tile_size, "j": tile_size})
+    print(f"transpose copy, N={n}, tile {tile_size}x{tile_size}")
+    print(f"original loops: {nest.domain.names}")
+    print(f"tiled loops:    {tiled.domain.names}")
+    print()
+
+    capacity_lines = 2 * tile_size * tile_size  # a two-tile working set
+    original = reuse_profile(nest)
+    transformed = reuse_profile(tiled)
+    print(f"{'':22s}{'original':>10s}{'tiled':>10s}")
+    print(f"{'accesses':22s}{original.accesses:>10d}{transformed.accesses:>10d}")
+    print(f"{'cold misses':22s}{original.cold_misses:>10d}"
+          f"{transformed.cold_misses:>10d}")
+    print(f"{'hit rate @ %4d lines' % capacity_lines:22s}"
+          f"{original.hit_fraction(capacity_lines):>10.3f}"
+          f"{transformed.hit_fraction(capacity_lines):>10.3f}")
+    print()
+    gain = (
+        transformed.hit_fraction(capacity_lines)
+        - original.hit_fraction(capacity_lines)
+    )
+    print(f"tiling adds {100 * gain:.1f} points of hit rate at a "
+          f"{capacity_lines}-line cache: the paper's mapping starts from "
+          "code like the tiled version and chooses *where* it runs.")
+
+
+if __name__ == "__main__":
+    main()

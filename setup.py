@@ -1,0 +1,4 @@
+"""Setup shim: enables `pip install -e .` on environments without wheel."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""Location-aware computation-to-core assignment for NoC manycores.
+
+A reproduction of "Enhancing Computation-to-Core Assignment with Physical
+Location Information" (Kislal et al., PLDI 2018): a compiler pass that maps
+loop-iteration sets to cores of a mesh manycore so that off-chip accesses
+are served by nearby memory controllers and (for shared LLCs) cache accesses
+by nearby banks -- plus everything needed to evaluate it: a loop IR, cache
+miss estimation, a NoC/cache/DRAM simulator, 21 benchmark models, baselines
+and the full experiment harness.
+
+Quickstart::
+
+    from repro import (
+        DEFAULT_CONFIG, build_workload, compare,
+    )
+
+    workload = build_workload("mxm")
+    comparison, _, _ = compare(workload, DEFAULT_CONFIG)
+    print(comparison.network_latency_reduction,
+          comparison.execution_time_reduction)
+"""
+
+from repro.core import (
+    LocationAwareCompiler,
+    Mapper,
+    RegionPartition,
+    SetAffinity,
+    eta,
+)
+from repro.experiments.harness import RunResult, compare, run_workload
+from repro.sim.config import DEFAULT_CONFIG, NetworkModel, SystemConfig
+from repro.sim.stats import Comparison, RunStats
+from repro.workloads import SUITE_ORDER, build_suite, build_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LocationAwareCompiler",
+    "Mapper",
+    "RegionPartition",
+    "SetAffinity",
+    "eta",
+    "RunResult",
+    "compare",
+    "run_workload",
+    "DEFAULT_CONFIG",
+    "NetworkModel",
+    "SystemConfig",
+    "Comparison",
+    "RunStats",
+    "SUITE_ORDER",
+    "build_suite",
+    "build_workload",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baselines: round-robin default, hardware mapping, data layout, ideal."""
+
+from .default import (
+    default_schedules,
+    partition_all_nests,
+    round_robin_schedule,
+)
+from .hardware import hardware_mapping_schedule, hardware_schedules
+from .layout import PageRemapTranslation, build_layout_remap
+
+__all__ = [
+    "default_schedules",
+    "partition_all_nests",
+    "round_robin_schedule",
+    "hardware_mapping_schedule",
+    "hardware_schedules",
+    "PageRemapTranslation",
+    "build_layout_remap",
+]

@@ -1,0 +1,52 @@
+"""The paper's baseline: round-robin iteration-set-to-core mapping.
+
+"iterations of a parallel loop nest are divided into (iteration) sets and
+these sets are assigned to cores in a round-robin fashion ... without taking
+into account any location information" (Section 5).  The set definition is
+identical to the optimized scheme's, so the two differ only in placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.iterspace import IterationSet, partition_iteration_sets
+from repro.ir.loops import ProgramInstance
+
+
+def round_robin_schedule(
+    iteration_sets: List[IterationSet], num_cores: int
+) -> Dict[int, int]:
+    """set_id -> core, dealing sets out in id order."""
+    if num_cores < 1:
+        raise ValueError("need at least one core")
+    return {
+        iteration_set.set_id: i % num_cores
+        for i, iteration_set in enumerate(
+            sorted(iteration_sets, key=lambda s: s.set_id)
+        )
+    }
+
+
+def default_schedules(
+    instance: ProgramInstance,
+    iteration_sets: Dict[int, List[IterationSet]],
+    num_cores: int,
+) -> Dict[int, Dict[int, int]]:
+    """Round-robin schedule for every nest of a program."""
+    return {
+        nest_index: round_robin_schedule(sets, num_cores)
+        for nest_index, sets in iteration_sets.items()
+    }
+
+
+def partition_all_nests(
+    instance: ProgramInstance, set_fraction: float = 0.0025
+) -> Dict[int, List[IterationSet]]:
+    """Iteration sets for every nest (shared by baseline and optimized)."""
+    return {
+        nest_index: partition_iteration_sets(
+            instance.nest_domain(nest_index).size, set_fraction=set_fraction
+        )
+        for nest_index in range(len(instance.program.nests))
+    }

@@ -1,0 +1,103 @@
+"""Hardware/OS-based application-to-core mapping baseline (Das et al. [16]).
+
+The scheme the paper compares against in Figure 14 maps *applications*
+(threads) to cores so that memory-intensive, network-sensitive threads sit
+close to the memory controllers.  To apply it to one multi-threaded
+application, "one can treat each thread of a multithreaded-application as if
+it is a separate application" (Section 5): the iteration space is split into
+one contiguous chunk per core (a thread), each thread's memory intensity is
+measured (estimated misses per iteration), and threads are placed onto cores
+ranked by proximity to their nearest MC -- most intensive threads nearest.
+
+Two properties the paper highlights fall out naturally:
+
+* it reasons about the *core -> MC* distance only, so it cannot help the
+  remote-L2 traffic that dominates S-NUCA (weak shared-LLC results), and
+* threads of one parallel loop have similar intensities, so the ranking
+  buys little (weaker than LA even for private LLCs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cme.equations import CacheMissEstimator
+from repro.ir.iterspace import IterationSet
+from repro.ir.loops import ProgramInstance
+from repro.noc.topology import Mesh2D
+
+
+def _cores_by_mc_proximity(mesh: Mesh2D) -> List[int]:
+    """Cores sorted nearest-MC-first (ties by id for determinism)."""
+    def key(node: int) -> tuple:
+        distance = min(
+            mesh.distance_to_mc(node, mc.index) for mc in mesh.mcs
+        )
+        return (distance, node)
+
+    return sorted(mesh.nodes(), key=key)
+
+
+def _thread_chunks(
+    iteration_sets: Sequence[IterationSet], num_threads: int
+) -> List[List[IterationSet]]:
+    """The default runtime's work-to-thread assignment: round-robin.
+
+    The hardware scheme *places threads on cores*; it does not repartition
+    work.  Thread ``t`` owns exactly the iteration sets the default
+    round-robin schedule would hand it (set ``k`` -> thread ``k mod P``),
+    so any difference from the default mapping comes purely from where the
+    threads sit -- as in Das et al.
+    """
+    ordered = sorted(iteration_sets, key=lambda s: s.set_id)
+    chunks: List[List[IterationSet]] = [[] for _ in range(num_threads)]
+    for i, iteration_set in enumerate(ordered):
+        chunks[i % num_threads].append(iteration_set)
+    return chunks
+
+
+def hardware_mapping_schedule(
+    instance: ProgramInstance,
+    nest_index: int,
+    iteration_sets: Sequence[IterationSet],
+    mesh: Mesh2D,
+    estimator: CacheMissEstimator,
+) -> Dict[int, int]:
+    """set_id -> core under the intensity-ranked placement."""
+    num_cores = mesh.num_nodes
+    chunks = _thread_chunks(iteration_sets, num_cores)
+    estimates = estimator.estimate_nest(instance, nest_index, iteration_sets)
+    intensities: List[float] = []
+    for chunk in chunks:
+        misses = sum(
+            sum(1 for a in estimates[s.set_id].accesses if not a.llc_hit)
+            for s in chunk
+        )
+        accesses = sum(len(estimates[s.set_id].accesses) for s in chunk)
+        intensities.append(misses / accesses if accesses else 0.0)
+    # Most intensive thread -> MC-closest core.
+    cores = _cores_by_mc_proximity(mesh)
+    thread_order = sorted(
+        range(len(chunks)), key=lambda t: -intensities[t]
+    )
+    schedule: Dict[int, int] = {}
+    for rank, thread in enumerate(thread_order):
+        core = cores[rank % num_cores]
+        for iteration_set in chunks[thread]:
+            schedule[iteration_set.set_id] = core
+    return schedule
+
+
+def hardware_schedules(
+    instance: ProgramInstance,
+    iteration_sets: Dict[int, List[IterationSet]],
+    mesh: Mesh2D,
+    estimator: CacheMissEstimator,
+) -> Dict[int, Dict[int, int]]:
+    """The Das-style schedule for every nest."""
+    return {
+        nest_index: hardware_mapping_schedule(
+            instance, nest_index, sets, mesh, estimator
+        )
+        for nest_index, sets in iteration_sets.items()
+    }

@@ -1,0 +1,34 @@
+"""Cache hierarchy: set-assoc caches, S-NUCA homing, MOESI-lite directory."""
+
+from .cache import AccessResult, Cache, CacheStats
+from .coherence import (
+    CoherenceActions,
+    CoherenceStats,
+    Directory,
+    DirState,
+)
+from .hierarchy import (
+    DEFAULT_L1,
+    DEFAULT_L2,
+    AccessOutcome,
+    CacheConfig,
+    CacheHierarchy,
+)
+from .snuca import LLCOrganization, SnucaMapper
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheStats",
+    "CoherenceActions",
+    "CoherenceStats",
+    "Directory",
+    "DirState",
+    "DEFAULT_L1",
+    "DEFAULT_L2",
+    "AccessOutcome",
+    "CacheConfig",
+    "CacheHierarchy",
+    "LLCOrganization",
+    "SnucaMapper",
+]

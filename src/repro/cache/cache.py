@@ -1,0 +1,149 @@
+"""Set-associative cache with true-LRU replacement.
+
+Operates on byte addresses; the line size is a per-cache parameter because
+Table 4 gives the L1 32-byte lines and the L2 64-byte lines.  The cache
+returns what happened (hit / miss / miss-with-dirty-eviction) and leaves all
+timing to the machine model.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.memory.address import is_power_of_two, log2_int
+
+
+class AccessResult(enum.Enum):
+    HIT = "hit"
+    MISS = "miss"
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def misses(self) -> int:
+        return self.accesses - self.hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+@dataclass
+class LineState:
+    dirty: bool = False
+
+
+class Cache:
+    """One cache: ``size_bytes`` split into ``assoc``-way sets of lines."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int, name: str = ""):
+        if not is_power_of_two(line_bytes):
+            raise ValueError("line size must be a power of two")
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ValueError("size must be a multiple of assoc * line size")
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.name = name
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if not is_power_of_two(self.num_sets):
+            raise ValueError("number of sets must be a power of two")
+        self._line_bits = log2_int(line_bytes)
+        self._set_mask = self.num_sets - 1
+        # set index -> OrderedDict[line tag -> LineState]; LRU at the front.
+        self._sets: Dict[int, "OrderedDict[int, LineState]"] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _index_tag(self, addr: int) -> Tuple[int, int]:
+        line = addr >> self._line_bits
+        return line & self._set_mask, line >> 0  # tag keeps full line number
+
+    def line_base(self, addr: int) -> int:
+        return (addr >> self._line_bits) << self._line_bits
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> bool:
+        """Non-destructive presence check (no stats, no LRU update)."""
+        idx, tag = self._index_tag(addr)
+        lines = self._sets.get(idx)
+        return lines is not None and tag in lines
+
+    def access(
+        self, addr: int, is_write: bool = False
+    ) -> Tuple[AccessResult, Optional[int]]:
+        """Access ``addr``; allocate on miss.
+
+        Returns ``(result, victim_addr)`` where ``victim_addr`` is the base
+        address of a *dirty* line evicted to make room (None otherwise).
+        """
+        idx, tag = self._index_tag(addr)
+        lines = self._sets.setdefault(idx, OrderedDict())
+        self.stats.accesses += 1
+        if tag in lines:
+            self.stats.hits += 1
+            lines.move_to_end(tag)
+            if is_write:
+                lines[tag].dirty = True
+            return AccessResult.HIT, None
+        victim_addr = self._fill(lines, tag)
+        if is_write:
+            lines[tag].dirty = True
+        return AccessResult.MISS, victim_addr
+
+    def fill(self, addr: int, dirty: bool = False) -> Optional[int]:
+        """Insert a line without counting an access (e.g. prefetch / fill).
+
+        Returns the base address of a dirty victim, if one was evicted.
+        """
+        idx, tag = self._index_tag(addr)
+        lines = self._sets.setdefault(idx, OrderedDict())
+        if tag in lines:
+            lines.move_to_end(tag)
+            if dirty:
+                lines[tag].dirty = True
+            return None
+        victim = self._fill(lines, tag)
+        if dirty:
+            lines[tag].dirty = True
+        return victim
+
+    def _fill(self, lines: "OrderedDict[int, LineState]", tag: int) -> Optional[int]:
+        victim_addr = None
+        if len(lines) >= self.assoc:
+            victim_tag, victim_state = lines.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_state.dirty:
+                self.stats.dirty_evictions += 1
+                victim_addr = victim_tag << self._line_bits
+        lines[tag] = LineState()
+        return victim_addr
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop a line if present; returns True if it was there."""
+        idx, tag = self._index_tag(addr)
+        lines = self._sets.get(idx)
+        if lines is not None and tag in lines:
+            del lines[tag]
+            return True
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(len(lines) for lines in self._sets.values())
+
+    def reset(self) -> None:
+        self._sets.clear()
+        self.stats = CacheStats()

@@ -1,0 +1,135 @@
+"""MOESI-lite directory coherence.
+
+The paper's gem5 configuration runs MOESI (Table 4).  For the traffic and
+latency questions this reproduction asks, the load-bearing aspects of MOESI
+are (1) which component answers a request -- another core's cache, the home
+LLC bank, or memory -- and (2) the invalidation traffic writes generate.
+``Directory`` tracks per-line owner/sharer sets at the home bank and tells
+the machine model which messages to put on the network; actual data movement
+and timing stay in :mod:`repro.sim.machine`.
+
+States are tracked per line from the directory's point of view:
+
+* ``INVALID``    -- no on-chip copy the directory knows about
+* ``SHARED``     -- one or more clean copies
+* ``OWNED``      -- one owner with a dirty copy, possibly plus sharers
+* ``MODIFIED``/``EXCLUSIVE`` are collapsed into ``OWNED`` with an empty /
+  singleton sharer set; the distinction changes write-hit bookkeeping, not
+  message counts, at this fidelity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+class DirState(enum.Enum):
+    INVALID = "I"
+    SHARED = "S"
+    OWNED = "O"
+
+
+@dataclass
+class DirectoryEntry:
+    state: DirState = DirState.INVALID
+    owner: Optional[int] = None
+    sharers: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class CoherenceStats:
+    read_requests: int = 0
+    write_requests: int = 0
+    invalidations_sent: int = 0
+    owner_forwards: int = 0
+    downgrade_writebacks: int = 0
+
+
+@dataclass
+class CoherenceActions:
+    """What the machine must do on the network for one request.
+
+    ``invalidate_nodes``   -- send control packets to these L1s (write).
+    ``forward_from_owner`` -- data comes from this node's L1 instead of the
+                              home bank / memory (dirty remote copy).
+    """
+
+    invalidate_nodes: Tuple[int, ...] = ()
+    forward_from_owner: Optional[int] = None
+
+
+class Directory:
+    """Home-bank directory over line addresses."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.stats = CoherenceStats()
+
+    def _entry(self, line_addr: int) -> DirectoryEntry:
+        return self._entries.setdefault(line_addr, DirectoryEntry())
+
+    # ------------------------------------------------------------------
+    def read(self, line_addr: int, requester: int) -> CoherenceActions:
+        """A core issues a read that reached the home bank."""
+        self.stats.read_requests += 1
+        entry = self._entry(line_addr)
+        actions = CoherenceActions()
+        if entry.state is DirState.OWNED and entry.owner != requester:
+            # Dirty copy elsewhere: forward from owner, owner keeps a
+            # now-shared copy (O -> O with extra sharer; data to requester).
+            actions = CoherenceActions(forward_from_owner=entry.owner)
+            self.stats.owner_forwards += 1
+            entry.sharers.add(requester)
+        else:
+            if entry.state is DirState.INVALID:
+                entry.state = DirState.SHARED
+            entry.sharers.add(requester)
+        return actions
+
+    def write(self, line_addr: int, requester: int) -> CoherenceActions:
+        """A core issues a write (or upgrade) that reached the home bank."""
+        self.stats.write_requests += 1
+        entry = self._entry(line_addr)
+        others = {n for n in entry.sharers if n != requester}
+        if entry.owner is not None and entry.owner != requester:
+            others.add(entry.owner)
+        forward = None
+        if entry.state is DirState.OWNED and entry.owner != requester:
+            forward = entry.owner
+            self.stats.owner_forwards += 1
+        if others:
+            self.stats.invalidations_sent += len(others)
+        entry.state = DirState.OWNED
+        entry.owner = requester
+        entry.sharers = {requester}
+        return CoherenceActions(
+            invalidate_nodes=tuple(sorted(others)), forward_from_owner=forward
+        )
+
+    def evict(self, line_addr: int, node: int) -> None:
+        """An L1 silently drops (clean) or writes back (dirty) a line."""
+        entry = self._entries.get(line_addr)
+        if entry is None:
+            return
+        entry.sharers.discard(node)
+        if entry.owner == node:
+            entry.owner = None
+            self.stats.downgrade_writebacks += 1
+            entry.state = DirState.SHARED if entry.sharers else DirState.INVALID
+        elif not entry.sharers and entry.owner is None:
+            entry.state = DirState.INVALID
+
+    # ------------------------------------------------------------------
+    def state_of(self, line_addr: int) -> DirState:
+        entry = self._entries.get(line_addr)
+        return entry.state if entry else DirState.INVALID
+
+    def sharers_of(self, line_addr: int) -> Set[int]:
+        entry = self._entries.get(line_addr)
+        return set(entry.sharers) if entry else set()
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.stats = CoherenceStats()

@@ -1,0 +1,152 @@
+"""Two-level cache hierarchy: per-node L1s over private or S-NUCA L2 banks.
+
+``CacheHierarchy`` owns the cache arrays and the home-bank directory and
+answers one question per access: *which components does this access touch,
+and what spill traffic does it create?*  All latency/NoC accounting lives in
+:mod:`repro.sim.machine`, which interprets the returned
+:class:`AccessOutcome`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.memory.distribution import DataDistribution
+
+from .cache import AccessResult, Cache
+from .coherence import CoherenceActions, Directory
+from .snuca import LLCOrganization, SnucaMapper
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    assoc: int
+    line_bytes: int
+
+    def build(self, name: str) -> Cache:
+        return Cache(self.size_bytes, self.assoc, self.line_bytes, name=name)
+
+
+DEFAULT_L1 = CacheConfig(size_bytes=16 * 1024, assoc=8, line_bytes=32)
+DEFAULT_L2 = CacheConfig(size_bytes=512 * 1024, assoc=16, line_bytes=64)
+
+
+@dataclass
+class AccessOutcome:
+    """Everything the machine needs to time one data access.
+
+    ``l1_hit``            -- satisfied locally, nothing else touched.
+    ``home_bank``         -- LLC bank consulted on an L1 miss.
+    ``llc_hit``           -- the home bank had the line.
+    ``mc_needed``         -- the access went off-chip (LLC miss).
+    ``l1_victim``         -- dirty L1 line pushed down (base address).
+    ``llc_victim``        -- dirty LLC line written back to memory.
+    ``coherence``         -- invalidations / owner forwarding for this access.
+    """
+
+    l1_hit: bool
+    home_bank: Optional[int] = None
+    llc_hit: bool = False
+    mc_needed: bool = False
+    l1_victim: Optional[int] = None
+    llc_victim: Optional[int] = None
+    coherence: CoherenceActions = field(default_factory=CoherenceActions)
+
+
+class CacheHierarchy:
+    """All caches of a machine plus the coherence directory."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        snuca: SnucaMapper,
+        l1_config: CacheConfig = DEFAULT_L1,
+        l2_config: CacheConfig = DEFAULT_L2,
+    ):
+        self.num_nodes = num_nodes
+        self.snuca = snuca
+        self.l1_config = l1_config
+        self.l2_config = l2_config
+        self._l1s: List[Cache] = [
+            l1_config.build(name=f"L1[{i}]") for i in range(num_nodes)
+        ]
+        self._llcs: List[Cache] = [
+            l2_config.build(name=f"L2[{i}]") for i in range(num_nodes)
+        ]
+        self._directory = Directory()
+
+    # ------------------------------------------------------------------
+    def l1(self, node: int) -> Cache:
+        return self._l1s[node]
+
+    def llc(self, bank: int) -> Cache:
+        return self._llcs[bank]
+
+    @property
+    def directory(self) -> Directory:
+        return self._directory
+
+    @property
+    def organization(self) -> LLCOrganization:
+        return self.snuca.organization
+
+    # ------------------------------------------------------------------
+    def access(self, core: int, paddr: int, is_write: bool) -> AccessOutcome:
+        """Walk one access through L1, home LLC bank and (logically) memory."""
+        l1 = self._l1s[core]
+        result, l1_victim = l1.access(paddr, is_write=is_write)
+        if result is AccessResult.HIT:
+            if is_write:
+                # Write hits still keep the directory's owner current when
+                # the line was previously shared; at this fidelity we only
+                # track it for shared LLCs where remote copies are possible.
+                pass
+            return AccessOutcome(l1_hit=True)
+
+        # L1 miss: consult the home bank.
+        bank = self.snuca.home_bank(paddr, core)
+        llc = self._llcs[bank]
+        llc_line = llc.line_base(paddr)
+        llc_result, llc_victim = llc.access(paddr, is_write=is_write)
+        if is_write:
+            coherence = self._directory.write(llc_line, core)
+        else:
+            coherence = self._directory.read(llc_line, core)
+        # The L1 dirty victim is written down into its own home bank; the
+        # machine charges the traffic, here we just keep state coherent.
+        if l1_victim is not None:
+            victim_bank = self.snuca.home_bank(l1_victim, core)
+            self._llcs[victim_bank].fill(l1_victim, dirty=True)
+            self._directory.evict(self._llcs[victim_bank].line_base(l1_victim), core)
+        return AccessOutcome(
+            l1_hit=False,
+            home_bank=bank,
+            llc_hit=llc_result is AccessResult.HIT,
+            mc_needed=llc_result is AccessResult.MISS,
+            l1_victim=l1_victim,
+            llc_victim=llc_victim,
+            coherence=coherence,
+        )
+
+    def reset(self) -> None:
+        for cache in self._l1s:
+            cache.reset()
+        for cache in self._llcs:
+            cache.reset()
+        self._directory.reset()
+
+    # ------------------------------------------------------------------
+    def aggregate_l1_stats(self) -> Tuple[int, int]:
+        """(accesses, hits) summed over all L1s."""
+        accesses = sum(c.stats.accesses for c in self._l1s)
+        hits = sum(c.stats.hits for c in self._l1s)
+        return accesses, hits
+
+    def aggregate_llc_stats(self) -> Tuple[int, int]:
+        accesses = sum(c.stats.accesses for c in self._llcs)
+        hits = sum(c.stats.hits for c in self._llcs)
+        return accesses, hits

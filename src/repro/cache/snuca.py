@@ -1,0 +1,57 @@
+"""S-NUCA bank homing: physical address -> LLC bank -> mesh node.
+
+In the shared-LLC (S-NUCA) organization every node's L2 bank is a slice of
+one large shared cache; a cache line has a single static home bank derived
+from its physical address (Section 2).  In the private organization the
+"home" of every line, from a core's point of view, is that core's own bank.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memory.distribution import DataDistribution
+from repro.noc.topology import Mesh2D
+
+
+class LLCOrganization(enum.Enum):
+    PRIVATE = "private"
+    SHARED = "shared"  # S-NUCA
+
+
+@dataclass(frozen=True)
+class SnucaMapper:
+    """Resolves the LLC bank (and its mesh node) serving an address."""
+
+    mesh: Mesh2D
+    distribution: DataDistribution
+    organization: LLCOrganization
+
+    def __post_init__(self) -> None:
+        if (
+            self.organization is LLCOrganization.SHARED
+            and self.distribution.num_llc_banks != self.mesh.num_nodes
+        ):
+            raise ValueError(
+                "shared LLC needs one bank per node: "
+                f"{self.distribution.num_llc_banks} banks vs "
+                f"{self.mesh.num_nodes} nodes"
+            )
+
+    def home_bank(self, addr: int, requester: int) -> int:
+        """Bank index holding ``addr`` for a request issued by ``requester``."""
+        if self.organization is LLCOrganization.PRIVATE:
+            return requester
+        return self.distribution.bank_of(addr)
+
+    def bank_node(self, bank: int) -> int:
+        """Mesh node of a bank (banks are co-located with nodes, 1:1)."""
+        return bank
+
+    def home_node(self, addr: int, requester: int) -> int:
+        return self.bank_node(self.home_bank(addr, requester))
+
+    def is_local(self, addr: int, requester: int) -> bool:
+        """True when the home bank sits in the requester's own node."""
+        return self.home_node(addr, requester) == requester

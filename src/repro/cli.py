@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                          -- the 21 benchmarks and their metadata
+* ``run APP [--mapping M] [...]``   -- simulate one app, print stats
+* ``compare APP [...]``             -- default vs location-aware side by side
+* ``figure NAME [...]``             -- regenerate one paper figure's table
+* ``properties``                    -- Table 3 (static columns)
+
+Examples::
+
+    python -m repro compare mxm --scale 0.6
+    python -m repro run nbf --mapping la --llc private
+    python -m repro figure fig09 --apps mxm,nbf --scale 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments import figures as fig
+from repro.experiments.harness import MAPPINGS, compare, run_workload
+from repro.experiments.report import print_table
+from repro.sim.config import DEFAULT_CONFIG, SystemConfig
+from repro.workloads import SUITE_ORDER, build_workload, suite_properties
+
+FIGURES = {
+    "fig02": fig.figure02_ideal_network,
+    "fig07": fig.figure07_private,
+    "fig08": fig.figure08_shared,
+    "fig09": fig.figure09_sensitivity,
+    "fig10-regions": fig.figure10_regions,
+    "fig10-sets": fig.figure10_iteration_sets,
+    "fig11": fig.figure11_distribution,
+    "fig12": fig.figure12_ddr4,
+    "fig13": fig.figure13_layout,
+    "fig14": fig.figure14_hardware,
+    "fig15": fig.figure15_perfect_estimation,
+    "fig16": fig.figure16_knl_modes,
+    "fig17": fig.figure17_knl_scaling,
+}
+
+
+def _config(args) -> SystemConfig:
+    config = DEFAULT_CONFIG
+    if getattr(args, "llc", "shared") == "private":
+        config = config.private_llc()
+    return config
+
+
+def _apps(raw: Optional[str]) -> Optional[List[str]]:
+    if not raw:
+        return None
+    return [a.strip() for a in raw.split(",") if a.strip()]
+
+
+def cmd_list(args) -> int:
+    rows = []
+    for name in SUITE_ORDER:
+        workload = build_workload(name)
+        rows.append([
+            name,
+            "regular" if workload.regular else "irregular",
+            workload.num_loop_nests,
+            workload.num_arrays,
+            workload.description,
+        ])
+    print_table(
+        ["benchmark", "class", "nests", "arrays", "description"], rows,
+        title="The 21-benchmark suite",
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = build_workload(args.app)
+    result = run_workload(
+        workload, _config(args), mapping=args.mapping, scale=args.scale
+    )
+    s = result.stats
+    print(f"{args.app} [{args.mapping}, {args.llc} LLC, scale {args.scale}]")
+    print(f"  execution cycles:    {s.execution_cycles:,}")
+    print(f"  avg network latency: {s.avg_network_latency:.1f} cycles/packet")
+    print(f"  avg hops:            {s.avg_hops:.2f}")
+    print(f"  L1 hit rate:         {s.l1_hit_rate:.3f}")
+    print(f"  LLC miss rate:       {s.llc_miss_rate:.3f}")
+    if s.overhead_cycles:
+        print(f"  runtime overhead:    {100 * s.overhead_fraction:.2f}%")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    workload = build_workload(args.app)
+    comparison, base, opt = compare(
+        workload, _config(args), optimized=args.mapping, scale=args.scale
+    )
+    print_table(
+        ["metric", "default", args.mapping],
+        [
+            ["execution cycles", base.stats.execution_cycles,
+             opt.stats.execution_cycles],
+            ["avg network latency", base.stats.avg_network_latency,
+             opt.stats.avg_network_latency],
+            ["avg hops", base.stats.avg_hops, opt.stats.avg_hops],
+        ],
+        title=f"{args.app} ({args.llc} LLC, scale {args.scale})",
+        float_fmt="{:.2f}",
+    )
+    print(f"network latency reduction: "
+          f"{comparison.network_latency_reduction:6.1f}%")
+    print(f"execution time reduction:  "
+          f"{comparison.execution_time_reduction:6.1f}%")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    func = FIGURES.get(args.name)
+    if func is None:
+        print(f"unknown figure {args.name!r}; one of: "
+              f"{', '.join(sorted(FIGURES))}", file=sys.stderr)
+        return 2
+    kwargs = {}
+    apps = _apps(args.apps)
+    if apps is not None:
+        kwargs["apps"] = apps  # otherwise each figure uses its own default
+    if args.name == "fig17":
+        kwargs["base_scale"] = args.scale
+    else:
+        kwargs["scale"] = args.scale
+    result = func(**kwargs)
+    import pprint
+
+    pprint.pprint(result)
+    return 0
+
+
+def cmd_properties(args) -> int:
+    rows = suite_properties()
+    print_table(
+        ["benchmark", "nests", "arrays", "iteration sets", "regular"],
+        [
+            [r["benchmark"], r["loop_nests"], r["arrays"],
+             r["iteration_sets"], r["regular"]]
+            for r in rows
+        ],
+        title="Table 3: benchmark properties (static columns)",
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite")
+    sub.add_parser("properties", help="Table 3 static columns")
+
+    for name, help_text in (
+        ("run", "simulate one application"),
+        ("compare", "default vs optimized mapping"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("app", choices=SUITE_ORDER)
+        p.add_argument("--mapping", default="la" if name == "compare" else
+                       "default", choices=MAPPINGS)
+        p.add_argument("--llc", default="shared",
+                       choices=("shared", "private"))
+        p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("figure", help="regenerate one figure's data")
+    p.add_argument("name", choices=sorted(FIGURES))
+    p.add_argument("--apps", default="")
+    p.add_argument("--scale", type=float, default=1.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "compare": cmd_compare,
+        "figure": cmd_figure,
+        "properties": cmd_properties,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""Cache miss estimation: stack distances + statistical CME classifier."""
+
+from .equations import (
+    CacheMissEstimator,
+    ClassifiedAccess,
+    SetEstimate,
+    oracle_estimator,
+)
+from .sampling import SampledAccess, sample_iteration_set, sampled_access_stream
+from .stack import (
+    INFINITE,
+    ReuseProfile,
+    SetAssociativeModel,
+    StackDistanceTracker,
+    stack_distances,
+)
+
+__all__ = [
+    "CacheMissEstimator",
+    "ClassifiedAccess",
+    "SetEstimate",
+    "oracle_estimator",
+    "SampledAccess",
+    "sample_iteration_set",
+    "sampled_access_stream",
+    "INFINITE",
+    "ReuseProfile",
+    "SetAssociativeModel",
+    "StackDistanceTracker",
+    "stack_distances",
+]

@@ -1,0 +1,32 @@
+"""Determining the cache/memory weighting parameter alpha.
+
+Section 4: alpha is the estimated fraction of an iteration set's accesses
+served by the on-chip LLC -- two of four accesses hitting gives alpha = 0.5,
+one of four gives 0.25.  The formal constraint is ``0 <= alpha < 1``
+(Section 3.8), so a hit fraction of exactly 1.0 is clamped just below 1:
+even an all-hits estimate keeps a sliver of weight on memory affinity,
+because estimates err and capacity misses appear at run time.
+"""
+
+from __future__ import annotations
+
+MAX_ALPHA = 0.96875  # 31/32: "strictly below one" with round binary repr
+
+
+def determine_alpha(hits: int, total: int) -> float:
+    """Alpha from classified access counts of one iteration set."""
+    if total < 0 or hits < 0 or hits > total:
+        raise ValueError(f"invalid hit counts: {hits}/{total}")
+    if total == 0:
+        # Nothing to go on: weight both affinities equally.
+        return 0.5
+    return clamp_alpha(hits / total)
+
+
+def clamp_alpha(alpha: float) -> float:
+    """Clamp into the paper's ``[0, 1)`` interval."""
+    if alpha < 0.0:
+        return 0.0
+    if alpha >= 1.0:
+        return MAX_ALPHA
+    return min(alpha, MAX_ALPHA)

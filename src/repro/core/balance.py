@@ -1,0 +1,141 @@
+"""Location-aware load balancing across regions (Algorithm 1, lines 15-24).
+
+After affinity-driven assignment some regions hold more iteration sets than
+others.  The balancer computes the target average, classifies regions into
+donors (above average) and receivers (below), orders donor/receiver pairs by
+their distance in the region grid -- neighbours first -- and transfers sets
+along that order until everyone is as close to the average as possible.
+
+Which sets leave a donor is chosen by *regret*: the sets whose affinity
+error grows least by moving to the receiver go first, so balancing costs as
+little location affinity as it can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .regions import RegionPartition
+
+
+@dataclass
+class BalanceResult:
+    """Outcome of the balancing pass."""
+
+    set_to_region: Dict[int, int]
+    moved_sets: int
+    transfers: List[Tuple[int, int, int]] = field(default_factory=list)
+    """(set_id, from_region, to_region) in transfer order."""
+
+    def moved_fraction(self) -> float:
+        total = len(self.set_to_region)
+        return self.moved_sets / total if total else 0.0
+
+
+def _sorted_pairs(
+    partition: RegionPartition, donors: Sequence[int], receivers: Sequence[int]
+) -> List[Tuple[int, int]]:
+    pairs = [
+        (donor, receiver)
+        for donor in donors
+        for receiver in receivers
+        if donor != receiver
+    ]
+    pairs.sort(
+        key=lambda p: (partition.region_distance(p[0], p[1]), p[0], p[1])
+    )
+    return pairs
+
+
+def balance_regions(
+    set_to_region: Dict[int, int],
+    errors: np.ndarray,
+    partition: RegionPartition,
+) -> BalanceResult:
+    """Even out iteration-set counts across regions.
+
+    ``errors[set_id, region]`` is the affinity error of placing a set in a
+    region (the eta values the mapper already computed); transfers pick the
+    minimum-regret sets.  The target load is ``ceil(total / regions)``;
+    donors give away surplus above the *floor* average so the result is as
+    level as integer counts allow.
+    """
+    assignment = dict(set_to_region)
+    num_regions = partition.num_regions
+    total = len(assignment)
+    if total == 0 or num_regions <= 1:
+        return BalanceResult(assignment, 0)
+
+    loads: Dict[int, List[int]] = {r: [] for r in range(num_regions)}
+    for set_id, region in assignment.items():
+        loads[region].append(set_id)
+
+    floor_avg = total // num_regions
+    remainder = total - floor_avg * num_regions
+    # Exact targets: every region gets floor_avg; the remainder goes to the
+    # currently fullest regions (minimizing the number of transfers).
+    by_load = sorted(
+        loads, key=lambda r: (-len(loads[r]), r)
+    )
+    targets = {r: floor_avg for r in loads}
+    for r in by_load[:remainder]:
+        targets[r] += 1
+
+    surplus = {
+        r: len(members) - targets[r]
+        for r, members in loads.items()
+        if len(members) > targets[r]
+    }
+    need = {
+        r: targets[r] - len(members)
+        for r, members in loads.items()
+        if len(members) < targets[r]
+    }
+    result = BalanceResult(assignment, 0)
+    if not surplus or not need:
+        return result
+
+    pairs = _sorted_pairs(partition, sorted(surplus), sorted(need))
+    for donor, receiver in pairs:
+        if surplus.get(donor, 0) <= 0 or need.get(receiver, 0) <= 0:
+            continue
+        quota = min(surplus[donor], need[receiver])
+        movable = loads[donor]
+        # Regret of moving a set: error in the receiver minus error where it
+        # sits now.  Smallest regret moves first.
+        movable.sort(key=lambda s: errors[s, receiver] - errors[s, donor])
+        for _ in range(quota):
+            set_id = movable.pop(0)
+            assignment[set_id] = receiver
+            loads[receiver].append(set_id)
+            result.transfers.append((set_id, donor, receiver))
+        surplus[donor] -= quota
+        need[receiver] -= quota
+
+    result.set_to_region = assignment
+    result.moved_sets = len(result.transfers)
+    return result
+
+
+def region_loads(
+    set_to_region: Dict[int, int], num_regions: int
+) -> List[int]:
+    """Iteration sets per region (for tests and Table 3 statistics)."""
+    loads = [0] * num_regions
+    for region in set_to_region.values():
+        loads[region] += 1
+    return loads
+
+
+def is_balanced(
+    set_to_region: Dict[int, int], num_regions: int, slack: int = 1
+) -> bool:
+    """True when region loads differ by at most ``slack`` plus rounding."""
+    loads = region_loads(set_to_region, num_regions)
+    total = sum(loads)
+    floor_avg = total // num_regions
+    ceil_avg = -(-total // num_regions)
+    return all(floor_avg - slack <= l <= ceil_avg + slack for l in loads)

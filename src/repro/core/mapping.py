@@ -1,0 +1,215 @@
+"""Iteration-set-to-core assignment (Algorithms 1 and 2).
+
+``Mapper`` turns per-iteration-set affinity vectors into a
+:class:`Schedule`:
+
+1. **Region assignment** -- each set goes to the region minimizing its
+   affinity error: ``eta(MAI, MAC(R))`` for private LLCs (Algorithm 1), the
+   alpha-weighted ``alpha*eta(CAI, CAC(R)) + (1-alpha)*eta(MAI, MAC(R))``
+   for shared LLCs (Algorithm 2 with the Section 3.8 weighting).
+2. **Load balancing** -- the donor/receiver pass of Algorithm 1 (shared by
+   both organizations).
+3. **Within-region placement** -- the paper assigns a set to a core of its
+   region "randomly, with the only constraint that the loads of the cores in
+   the region should be more or less balanced"; the ``LEAST_LOADED``
+   strategy models the ~2%-better "OS option" of Section 3.9.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cache.snuca import LLCOrganization
+
+from .affinity import AffinityVector, combined_eta, eta
+from .balance import BalanceResult, balance_regions
+from .proximity import MacMode, cac_table, llc_mac_table, mac_table
+from .regions import RegionPartition
+
+
+class PlacementStrategy(enum.Enum):
+    STABLE_RR = "stable_rr"              # deterministic by set id (default)
+    RANDOM_BALANCED = "random_balanced"  # the paper's random choice
+    LEAST_LOADED = "least_loaded"        # the "OS option" (Section 3.9)
+
+
+@dataclass(frozen=True)
+class SetAffinity:
+    """Everything the mapper needs to know about one iteration set."""
+
+    set_id: int
+    mai: AffinityVector
+    cai: Optional[AffinityVector] = None
+    alpha: float = 0.0
+    iterations: int = 1
+
+
+@dataclass
+class Schedule:
+    """The mapper's product: where every iteration set runs."""
+
+    set_to_core: Dict[int, int]
+    set_to_region: Dict[int, int]
+    moved_fraction: float = 0.0
+    errors: Optional[np.ndarray] = None
+
+    def core_of(self, set_id: int) -> int:
+        return self.set_to_core[set_id]
+
+    def sets_on_core(self, core: int) -> List[int]:
+        return sorted(s for s, c in self.set_to_core.items() if c == core)
+
+    def core_loads(self, num_cores: int) -> List[int]:
+        loads = [0] * num_cores
+        for core in self.set_to_core.values():
+            loads[core] += 1
+        return loads
+
+
+class Mapper:
+    """Location-aware iteration-set mapper for one machine configuration."""
+
+    def __init__(
+        self,
+        partition: RegionPartition,
+        organization: LLCOrganization,
+        mac_mode: MacMode = MacMode.NEAREST,
+        cac_self_weight: float = 0.5,
+        placement: PlacementStrategy = PlacementStrategy.STABLE_RR,
+        balance: bool = True,
+        alpha_weighting: bool = True,
+        seed: int = 11,
+    ):
+        self.partition = partition
+        self.organization = organization
+        self.placement = placement
+        self.balance = balance
+        # Algorithm 2's pseudo-code sums eta1 + eta2 unweighted; the text
+        # (Section 3.8) weights them by alpha.  The weighted form is the
+        # default; the unweighted form is kept for the ablation study.
+        self.alpha_weighting = alpha_weighting
+        self._rng = np.random.default_rng(seed)
+        if organization is LLCOrganization.SHARED:
+            # S-NUCA: the off-chip leg starts at the LLC bank (Section 3.8).
+            self._macs = llc_mac_table(partition, mode=mac_mode)
+        else:
+            self._macs = mac_table(partition, mode=mac_mode)
+        self._cacs = cac_table(partition, self_weight=cac_self_weight)
+
+    # ------------------------------------------------------------------
+    @property
+    def macs(self) -> Mapping[int, AffinityVector]:
+        return self._macs
+
+    @property
+    def cacs(self) -> Mapping[int, AffinityVector]:
+        return self._cacs
+
+    # ------------------------------------------------------------------
+    def set_error(self, affinity: SetAffinity, region: int) -> float:
+        """Affinity error of placing one set in one region."""
+        eta_m = eta(affinity.mai, self._macs[region])
+        if self.organization is LLCOrganization.PRIVATE:
+            return eta_m
+        if affinity.cai is None:
+            raise ValueError(
+                f"set {affinity.set_id}: shared-LLC mapping needs a CAI vector"
+            )
+        eta_c = eta(affinity.cai, self._cacs[region])
+        if not self.alpha_weighting:
+            # Algorithm 2 verbatim: argmin over eta1 + eta2.
+            return eta_c + eta_m
+        return combined_eta(eta_c, eta_m, affinity.alpha)
+
+    def error_matrix(self, affinities: Sequence[SetAffinity]) -> np.ndarray:
+        """``errors[i, r]`` for every (set index, region) pair."""
+        n_regions = self.partition.num_regions
+        errors = np.empty((len(affinities), n_regions), dtype=float)
+        for i, affinity in enumerate(affinities):
+            for region in range(n_regions):
+                errors[i, region] = self.set_error(affinity, region)
+        return errors
+
+    # ------------------------------------------------------------------
+    def assign(self, affinities: Sequence[SetAffinity]) -> Schedule:
+        """Run the full pipeline: region assignment, balancing, placement."""
+        if not affinities:
+            return Schedule({}, {}, 0.0)
+        ids = [a.set_id for a in affinities]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate iteration set ids")
+        errors = self.error_matrix(affinities)
+        # Algorithm 1/2: argmin over regions, first minimum wins.
+        set_to_region = {
+            affinity.set_id: int(np.argmin(errors[i]))
+            for i, affinity in enumerate(affinities)
+        }
+        moved_fraction = 0.0
+        if self.balance:
+            # Balance on a set-id-indexed error view.
+            id_errors = _reindex_errors(errors, ids)
+            result = balance_regions(set_to_region, id_errors, self.partition)
+            set_to_region = result.set_to_region
+            moved_fraction = result.moved_fraction()
+        set_to_core = self._place_within_regions(set_to_region, affinities)
+        return Schedule(
+            set_to_core=set_to_core,
+            set_to_region=set_to_region,
+            moved_fraction=moved_fraction,
+            errors=errors,
+        )
+
+    # ------------------------------------------------------------------
+    def _place_within_regions(
+        self,
+        set_to_region: Dict[int, int],
+        affinities: Sequence[SetAffinity],
+    ) -> Dict[int, int]:
+        sizes = {a.set_id: a.iterations for a in affinities}
+        by_region: Dict[int, List[int]] = {}
+        for set_id, region in set_to_region.items():
+            by_region.setdefault(region, []).append(set_id)
+        set_to_core: Dict[int, int] = {}
+        for region, members in sorted(by_region.items()):
+            cores = self.partition.nodes_in_region(region)
+            members = sorted(members)
+            if self.placement is PlacementStrategy.STABLE_RR:
+                # Deterministic: deal sets over the region's cores in set-id
+                # order.  Unlike the paper's random choice this keeps the
+                # set -> core relation consistent across loop nests, so a
+                # set that lands in the same region in two nests reuses the
+                # same core's private caches (the round-robin baseline gets
+                # this alignment for free; losing it would hand the
+                # baseline an artificial advantage).
+                for k, set_id in enumerate(members):
+                    set_to_core[set_id] = cores[k % len(cores)]
+            elif self.placement is PlacementStrategy.RANDOM_BALANCED:
+                # Random order, then round-robin over the cores: random
+                # choice under the "loads more or less balanced" constraint.
+                order = list(members)
+                self._rng.shuffle(order)
+                for k, set_id in enumerate(order):
+                    set_to_core[set_id] = cores[k % len(cores)]
+            else:
+                # Least-loaded by iteration count (the OS option).
+                load = {core: 0 for core in cores}
+                for set_id in sorted(
+                    members, key=lambda s: -sizes.get(s, 1)
+                ):
+                    core = min(load, key=lambda c: (load[c], c))
+                    set_to_core[set_id] = core
+                    load[core] += sizes.get(set_id, 1)
+        return set_to_core
+
+
+def _reindex_errors(errors: np.ndarray, ids: Sequence[int]) -> np.ndarray:
+    """View the error matrix indexed by set id rather than position."""
+    max_id = max(ids)
+    out = np.full((max_id + 1, errors.shape[1]), np.inf)
+    for pos, set_id in enumerate(ids):
+        out[set_id] = errors[pos]
+    return out

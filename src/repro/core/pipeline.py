@@ -1,0 +1,168 @@
+"""The end-to-end compiler pipeline of Figure 4.
+
+``LocationAwareCompiler.compile`` takes a program instance plus the
+architecture description and produces, per parallel loop nest:
+
+1. iteration sets (schedule granularity, Table 4's 0.25% default);
+2. CME-classified sampled accesses per set (data access pattern + cache
+   miss estimation);
+3. MAI / CAI / alpha per set (affinity analysis);
+4. an iteration-set-to-core schedule (mapping + load balancing).
+
+This is the *regular-application* path: everything happens "at compile
+time" against the compiler-visible virtual addresses.  Irregular programs
+go through :mod:`repro.core.inspector` instead, which builds the same
+artifacts from runtime observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.snuca import LLCOrganization
+from repro.cme.equations import CacheMissEstimator
+from repro.ir.dependence import validate_parallelism
+from repro.ir.iterspace import IterationSet, partition_iteration_sets
+from repro.ir.loops import ProgramInstance
+from repro.sim.config import SystemConfig
+
+from .analysis import ArchitectureView, build_set_affinity
+from .mapping import Mapper, PlacementStrategy, Schedule, SetAffinity
+from .proximity import MacMode
+from .regions import RegionPartition
+
+
+@dataclass
+class CompiledSchedule:
+    """Everything the compiler emits for one program instance."""
+
+    iteration_sets: Dict[int, List[IterationSet]]
+    schedules: Dict[int, Dict[int, int]]
+    affinities: Dict[Tuple[int, int], SetAffinity] = field(default_factory=dict)
+    moved_fractions: Dict[int, float] = field(default_factory=dict)
+
+    @property
+    def avg_moved_fraction(self) -> float:
+        if not self.moved_fractions:
+            return 0.0
+        return sum(self.moved_fractions.values()) / len(self.moved_fractions)
+
+    def predicted_mai(self, nest_index: int, set_id: int) -> Optional[np.ndarray]:
+        affinity = self.affinities.get((nest_index, set_id))
+        return affinity.mai if affinity is not None else None
+
+    def predicted_cai(self, nest_index: int, set_id: int) -> Optional[np.ndarray]:
+        affinity = self.affinities.get((nest_index, set_id))
+        return affinity.cai if affinity is not None else None
+
+
+class LocationAwareCompiler:
+    """The paper's compiler pass, parameterized by the machine config."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        mac_mode: MacMode = MacMode.NEAREST,
+        cac_self_weight: float = 0.5,
+        placement: PlacementStrategy = PlacementStrategy.STABLE_RR,
+        balance: bool = True,
+        alpha_weighting: bool = True,
+        cme_accuracy: float = 1.0,
+        cme_sample_iterations: int = 8,
+        iteration_set_fraction: Optional[float] = None,
+        num_regions: Optional[int] = None,
+        check_parallelism: bool = True,
+        seed: int = 11,
+    ):
+        self.config = config
+        self.check_parallelism = check_parallelism
+        self.iteration_set_fraction = (
+            iteration_set_fraction
+            if iteration_set_fraction is not None
+            else config.iteration_set_fraction
+        )
+        mesh = config.build_mesh()
+        if num_regions is None:
+            self.partition = RegionPartition(
+                mesh, region_w=config.region_w, region_h=config.region_h
+            )
+        else:
+            from .regions import partition_by_count
+
+            self.partition = partition_by_count(mesh, num_regions)
+        self.view = ArchitectureView(
+            partition=self.partition, distribution=config.build_distribution()
+        )
+        self.mapper = Mapper(
+            partition=self.partition,
+            organization=config.llc_organization,
+            mac_mode=mac_mode,
+            cac_self_weight=cac_self_weight,
+            placement=placement,
+            balance=balance,
+            alpha_weighting=alpha_weighting,
+            seed=seed,
+        )
+        # CME models the capacity the program actually has available: the
+        # local bank for private LLCs, the aggregate for S-NUCA.
+        llc_bytes = config.l2_size_bytes
+        if config.llc_organization is LLCOrganization.SHARED:
+            llc_bytes = config.l2_size_bytes * config.num_cores
+        self.estimator = CacheMissEstimator(
+            llc_size_bytes=llc_bytes,
+            llc_assoc=config.l2_assoc,
+            line_bytes=config.l2_line_bytes,
+            accuracy=cme_accuracy,
+            sample_iterations=cme_sample_iterations,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    def partition_nest(
+        self, instance: ProgramInstance, nest_index: int
+    ) -> List[IterationSet]:
+        dom = instance.nest_domain(nest_index)
+        return partition_iteration_sets(
+            dom.size, set_fraction=self.iteration_set_fraction
+        )
+
+    def compile(self, instance: ProgramInstance) -> CompiledSchedule:
+        """Run the full Figure 4 flow over every parallel nest."""
+        result = CompiledSchedule(iteration_sets={}, schedules={})
+        for nest_index, nest in enumerate(instance.program.nests):
+            if self.check_parallelism:
+                validate_parallelism(nest)
+            sets = self.partition_nest(instance, nest_index)
+            result.iteration_sets[nest_index] = sets
+            affinities = self._analyze_nest(instance, nest_index, sets)
+            for affinity in affinities:
+                result.affinities[(nest_index, affinity.set_id)] = affinity
+            schedule = self.mapper.assign(affinities)
+            result.schedules[nest_index] = schedule.set_to_core
+            result.moved_fractions[nest_index] = schedule.moved_fraction
+        return result
+
+    # ------------------------------------------------------------------
+    def _analyze_nest(
+        self,
+        instance: ProgramInstance,
+        nest_index: int,
+        sets: List[IterationSet],
+    ) -> List[SetAffinity]:
+        estimates = self.estimator.estimate_nest(instance, nest_index, sets)
+        affinities: List[SetAffinity] = []
+        for iteration_set in sets:
+            estimate = estimates[iteration_set.set_id]
+            affinities.append(
+                build_set_affinity(
+                    set_id=iteration_set.set_id,
+                    accesses=estimate.accesses,
+                    view=self.view,
+                    organization=self.config.llc_organization,
+                    iterations=iteration_set.size,
+                )
+            )
+        return affinities

@@ -1,0 +1,122 @@
+"""MAC and CAC: the architecture-side affinity vectors.
+
+Both are application independent -- pure functions of the mesh geometry,
+the MC placement and the region partition -- so they are computed once per
+machine configuration.
+
+**MAC(R)** (Section 3.3): equal weight over the MCs nearest (Manhattan, from
+the region center) to region R; zero elsewhere.  This reproduces Figure 6a
+exactly: corner regions bind fully to their corner MC, edge regions split
+0.5/0.5 over the two near MCs, and the center region spreads 0.25 over all
+four.  An alternative smooth inverse-distance mode implements the
+finer-granular encoding the paper floats in Section 3.9.
+
+**CAC(R)** (Section 3.7): ``self_weight`` (default 0.5) on R itself and the
+remainder split equally over R's 4-connected region-grid neighbours --
+Figure 6c verbatim.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List
+
+import numpy as np
+
+from repro.noc.topology import Mesh2D
+
+from .affinity import AffinityVector, affinity_from_counts
+from .regions import RegionPartition
+
+
+class MacMode(enum.Enum):
+    NEAREST = "nearest"              # paper default (Figure 6a)
+    INVERSE_DISTANCE = "inverse"     # Section 3.9's finer-granular option
+
+
+def _region_mc_distances(
+    partition: RegionPartition, region: int
+) -> List[float]:
+    mesh = partition.mesh
+    cx, cy = partition.region_center(region)
+    distances = []
+    for mc in mesh.mcs:
+        mx, my = mc.position
+        distances.append(abs(cx - mx) + abs(cy - my))
+    return distances
+
+
+def mac_vector(
+    partition: RegionPartition,
+    region: int,
+    mode: MacMode = MacMode.NEAREST,
+    tie_tolerance: float = 1e-6,
+) -> AffinityVector:
+    """Memory affinity of the cores in ``region``."""
+    distances = _region_mc_distances(partition, region)
+    num_mcs = len(distances)
+    if mode is MacMode.NEAREST:
+        dmin = min(distances)
+        counts = [1.0 if d <= dmin + tie_tolerance else 0.0 for d in distances]
+        return affinity_from_counts(counts, num_mcs)
+    # Inverse-distance: weight ~ 1/(1+d); smoother, never exactly zero.
+    counts = [1.0 / (1.0 + d) for d in distances]
+    return affinity_from_counts(counts, num_mcs)
+
+
+def mac_table(
+    partition: RegionPartition, mode: MacMode = MacMode.NEAREST
+) -> Dict[int, AffinityVector]:
+    """MAC for every region of a partition."""
+    return {
+        r: mac_vector(partition, r, mode=mode) for r in partition.regions()
+    }
+
+
+def cac_vector(
+    partition: RegionPartition, region: int, self_weight: float = 0.5
+) -> AffinityVector:
+    """Cache affinity of the cores in ``region`` (Figure 6c).
+
+    ``self_weight`` of the preference goes to the region's own LLC banks;
+    the rest is split equally across its immediate (4-connected) neighbours.
+    With no neighbours (single-region partition) all weight stays local.
+    """
+    if not 0.0 < self_weight <= 1.0:
+        raise ValueError("self_weight must be in (0, 1]")
+    counts = np.zeros(partition.num_regions, dtype=float)
+    neighbors = partition.region_neighbors(region)
+    if not neighbors:
+        counts[region] = 1.0
+        return affinity_from_counts(counts, partition.num_regions)
+    counts[region] = self_weight
+    share = (1.0 - self_weight) / len(neighbors)
+    for n in neighbors:
+        counts[n] = share
+    return affinity_from_counts(counts, partition.num_regions)
+
+
+def cac_table(
+    partition: RegionPartition, self_weight: float = 0.5
+) -> Dict[int, AffinityVector]:
+    """CAC for every region of a partition."""
+    return {
+        r: cac_vector(partition, r, self_weight=self_weight)
+        for r in partition.regions()
+    }
+
+
+def llc_mac_table(
+    partition: RegionPartition, mode: MacMode = MacMode.NEAREST
+) -> Dict[int, AffinityVector]:
+    """MAC computed from LLC-bank positions rather than core positions.
+
+    For S-NUCA the off-chip leg of a miss starts at the home LLC bank, not
+    the requesting core (Section 3.8: "instead of capturing the affinity
+    between a core and an MC, we need to capture the affinity between an LLC
+    and an MC").  Banks are co-located with cores in this architecture, so
+    the table coincides with :func:`mac_table`; it is kept as a separate
+    entry point so architectures with disjoint bank placement can override
+    just this function.
+    """
+    return mac_table(partition, mode=mode)

@@ -1,0 +1,17 @@
+"""Experiment harness and per-figure reproductions."""
+
+from .harness import (
+    DEFAULT_CME_ACCURACY,
+    MAPPINGS,
+    RunResult,
+    compare,
+    run_workload,
+)
+
+__all__ = [
+    "DEFAULT_CME_ACCURACY",
+    "MAPPINGS",
+    "RunResult",
+    "compare",
+    "run_workload",
+]

@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment results (the "figures" as tables).
+
+The paper's figures are bar charts; a reproduction harness regenerates the
+underlying numbers.  These helpers print them as aligned tables so the
+bench targets produce readable, diffable output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.1f}",
+) -> str:
+    """Render rows as a fixed-width table."""
+    def fmt(value: object) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.1f}",
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title, float_fmt=float_fmt))
+    print()
+
+
+def app_metric_table(
+    title: str,
+    per_app: Mapping[str, Mapping[str, float]],
+    metrics: Sequence[str],
+    summary_row: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Table with one row per application and one column per metric."""
+    headers = ["benchmark"] + list(metrics)
+    rows = [
+        [app] + [per_app[app].get(metric, float("nan")) for metric in metrics]
+        for app in per_app
+    ]
+    if summary_row is not None:
+        rows.append(
+            ["GEOMEAN"] + [summary_row.get(m, float("nan")) for m in metrics]
+        )
+    return format_table(headers, rows, title=title)

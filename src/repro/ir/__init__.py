@@ -1,0 +1,69 @@
+"""Loop IR: symbolic bounds, arrays, references, domains, nests, programs."""
+
+from .arrays import AffineIndex, ArrayDecl, ArraySpace, declare
+from .builder import NestBuilder, nest_builder
+from .dependence import (
+    Dependence,
+    analyze_nest,
+    provably_parallel,
+    validate_parallelism,
+)
+from .iterspace import (
+    ConcreteDomain,
+    IterationDomain,
+    IterationSet,
+    domain,
+    partition_iteration_sets,
+)
+from .loops import LoopNest, Program, ProgramInstance
+from .refs import (
+    AffineAccess,
+    IndirectAccess,
+    RuntimeData,
+    UnresolvedIndirection,
+    gather,
+    read,
+    scatter,
+    write,
+)
+from .symbolic import AffineExpr, Idx, NonAffineError, Param, as_expr
+from .transforms import IllegalTransform, fuse, interchange, strip_mine, tile
+
+__all__ = [
+    "AffineIndex",
+    "ArrayDecl",
+    "ArraySpace",
+    "declare",
+    "NestBuilder",
+    "nest_builder",
+    "Dependence",
+    "analyze_nest",
+    "provably_parallel",
+    "validate_parallelism",
+    "ConcreteDomain",
+    "IterationDomain",
+    "IterationSet",
+    "domain",
+    "partition_iteration_sets",
+    "LoopNest",
+    "Program",
+    "ProgramInstance",
+    "AffineAccess",
+    "IndirectAccess",
+    "RuntimeData",
+    "UnresolvedIndirection",
+    "gather",
+    "read",
+    "scatter",
+    "write",
+    "AffineExpr",
+    "Idx",
+    "NonAffineError",
+    "Param",
+    "as_expr",
+    "IllegalTransform",
+    "fuse",
+    "interchange",
+    "strip_mine",
+    "tile",
+]

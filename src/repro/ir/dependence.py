@@ -1,0 +1,177 @@
+"""Loop-carried dependence testing for affine references.
+
+The mapping pass only re-orders *iteration-to-core assignment* of loops that
+are already parallel, so the compiler must be able to check (or trust) the
+absence of loop-carried dependences.  We implement the standard cheap tests
+a polyhedral front end would run first:
+
+* **GCD test** per dimension -- a dependence between ``a*i + c1`` (write)
+  and ``b*i' + c2`` requires ``gcd(a, b) | (c2 - c1)``.
+* **Uniform (constant-distance) test** -- when coefficients match, the
+  distance is ``(c2 - c1) / a``; zero distance is loop-independent and
+  harmless for parallelism.
+
+Indirect references are never provably independent at compile time; nests
+containing them rely on the user's ``parallel=True`` annotation (the paper's
+irregular codes are parallelized the same way).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .loops import LoopNest
+from .refs import AffineAccess, IndirectAccess
+from .symbolic import AffineExpr
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A (possible) dependence between two references of a nest."""
+
+    array: str
+    source: str
+    sink: str
+    distance: Optional[Tuple[int, ...]]  # None when non-uniform
+    loop_carried: bool
+
+    def __repr__(self) -> str:
+        dist = self.distance if self.distance is not None else "?"
+        kind = "carried" if self.loop_carried else "independent"
+        return f"dep[{self.array}] {self.source} -> {self.sink} d={dist} ({kind})"
+
+
+def _dimension_may_alias(
+    f: AffineExpr, g: AffineExpr, loop_names: Sequence[str]
+) -> Tuple[bool, Optional[int]]:
+    """May ``f(i) == g(i')`` hold?  Returns (possible, uniform_distance).
+
+    ``uniform_distance`` is set when both expressions have identical loop
+    coefficients (the common stencil case), where the dependence distance in
+    this dimension is a constant.
+    """
+    f_loop = {name: f.coefficient(name) for name in loop_names}
+    g_loop = {name: g.coefficient(name) for name in loop_names}
+    const_delta = g.const - f.const
+    # Parameters (non-loop symbols) must match exactly for a precise answer;
+    # if they differ we conservatively report a possible dependence.
+    f_params = {s: c for s, c in f.coeffs if s not in loop_names}
+    g_params = {s: c for s, c in g.coeffs if s not in loop_names}
+    if f_params != g_params:
+        return True, None
+
+    if f_loop == g_loop:
+        # Uniform: with equal coefficients a, ``a*i + c1 = a*i' + c2`` gives
+        # the distance d = i' - i = (c1 - c2)/a = -const_delta/a (standard
+        # sink-minus-source convention: positive = forward/carried by a
+        # later iteration).  A single nonzero coefficient makes it exact;
+        # otherwise fall back to the GCD test.
+        nonzero = [(n, c) for n, c in f_loop.items() if c != 0]
+        if not nonzero:
+            return (const_delta == 0), 0 if const_delta == 0 else None
+        if len(nonzero) == 1:
+            name, coeff = nonzero[0]
+            if const_delta % coeff != 0:
+                return False, None
+            return True, -const_delta // coeff
+        g_all = math.gcd(*[abs(c) for _, c in nonzero])
+        if const_delta % g_all != 0:
+            return False, None
+        return True, None
+
+    coeffs = [f_loop[n] for n in loop_names] + [g_loop[n] for n in loop_names]
+    nonzero = [abs(c) for c in coeffs if c != 0]
+    if not nonzero:
+        return (const_delta == 0), None
+    g_all = math.gcd(*nonzero)
+    if const_delta % g_all != 0:
+        return False, None
+    return True, None
+
+
+def _pair_dependence(
+    src: AffineAccess, dst: AffineAccess, loop_names: Sequence[str]
+) -> Optional[Dependence]:
+    if src.array.name != dst.array.name:
+        return None
+    distances: List[Optional[int]] = []
+    for f, g in zip(src.index.indices, dst.index.indices):
+        possible, dist = _dimension_may_alias(f, g, loop_names)
+        if not possible:
+            return None
+        distances.append(dist)
+    if all(d is not None for d in distances):
+        dist_vec: Optional[Tuple[int, ...]] = tuple(distances)  # type: ignore[arg-type]
+        carried = any(d != 0 for d in distances)
+    else:
+        dist_vec = None
+        carried = True  # conservative
+    return Dependence(
+        array=src.array.name,
+        source=repr(src),
+        sink=repr(dst),
+        distance=dist_vec,
+        loop_carried=carried,
+    )
+
+
+def analyze_nest(nest: LoopNest) -> List[Dependence]:
+    """All (may-)dependences among the nest's references.
+
+    Pairs considered: (write, write) and (write, read) in both directions --
+    read/read pairs carry no dependence.
+    """
+    loop_names = nest.domain.names
+    affine = [r for r in nest.references if isinstance(r, AffineAccess)]
+    deps: List[Dependence] = []
+    for a in affine:
+        for b in affine:
+            if a is b or not (a.is_write or b.is_write):
+                continue
+            if not a.is_write:
+                continue  # handled when the roles are swapped
+            dep = _pair_dependence(a, b, loop_names)
+            if dep is not None:
+                deps.append(dep)
+    # Indirect references: every (write, other-ref-to-same-array) pair is a
+    # may-dependence we cannot disprove.
+    indirect = [r for r in nest.references if isinstance(r, IndirectAccess)]
+    for a in indirect:
+        for b in nest.references:
+            if a is b or not (a.is_write or b.is_write):
+                continue
+            if b.array.name != a.array.name:
+                continue
+            deps.append(
+                Dependence(
+                    array=a.array.name,
+                    source=repr(a),
+                    sink=repr(b),
+                    distance=None,
+                    loop_carried=True,
+                )
+            )
+    return deps
+
+
+def provably_parallel(nest: LoopNest) -> bool:
+    """True when no loop-carried dependence can exist."""
+    return not any(dep.loop_carried for dep in analyze_nest(nest))
+
+
+def validate_parallelism(nest: LoopNest) -> None:
+    """Raise when a nest is marked parallel but a dependence is provable.
+
+    Only *uniform non-zero* distances are hard evidence; conservative
+    may-dependences (irregular refs, non-uniform subscripts) are allowed
+    through, because the annotation is the user's promise (as in the paper).
+    """
+    if not nest.parallel:
+        return
+    for dep in analyze_nest(nest):
+        if dep.distance is not None and any(d != 0 for d in dep.distance):
+            raise ValueError(
+                f"nest {nest.name!r} is marked parallel but carries {dep!r}"
+            )

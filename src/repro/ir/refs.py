@@ -1,0 +1,167 @@
+"""Array references: affine (regular) and index-array based (irregular).
+
+A *reference* is one textual array access in a loop body.  Regular programs
+use :class:`AffineAccess` (``A[i][j+1]``); irregular ones additionally use
+:class:`IndirectAccess` (``A[idx[i]]``), whose target is only known once the
+index array's contents exist at run time -- the reason the paper switches to
+an inspector/executor scheme for them (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .arrays import AffineIndex, ArrayDecl, ArraySpace
+from .symbolic import AffineExpr, Bindings, ExprLike, as_expr
+
+RuntimeData = Mapping[str, np.ndarray]
+"""Contents of index arrays, keyed by array name (available at run time)."""
+
+
+class UnresolvedIndirection(RuntimeError):
+    """An indirect reference was evaluated without its index-array data."""
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """A compile-time-analyzable access such as ``B[i][j + 1]``."""
+
+    index: AffineIndex
+    is_write: bool = False
+
+    @property
+    def array(self) -> ArrayDecl:
+        return self.index.array
+
+    @property
+    def is_regular(self) -> bool:
+        return True
+
+    def indices_at(self, bindings: Bindings) -> Tuple[int, ...]:
+        return tuple(expr.evaluate(bindings) for expr in self.index.indices)
+
+    def address(
+        self,
+        bindings: Bindings,
+        space: ArraySpace,
+        runtime: Optional[RuntimeData] = None,
+    ) -> int:
+        return space.element_address(self.array, self.indices_at(bindings))
+
+    def __repr__(self) -> str:
+        idx = ", ".join(repr(e) for e in self.index.indices)
+        rw = "W" if self.is_write else "R"
+        return f"{self.array.name}[{idx}]:{rw}"
+
+
+@dataclass(frozen=True)
+class IndirectAccess:
+    """An index-array access such as ``A[idx[i] + offset]``.
+
+    ``position`` is the affine expression selecting the slot of the index
+    array (``idx``); the value found there (plus ``offset``) indexes the
+    data array's *first* dimension; ``trailing`` (affine) indexes any
+    remaining dimensions.
+    """
+
+    array: ArrayDecl
+    index_array: ArrayDecl
+    position: AffineExpr
+    offset: int = 0
+    trailing: Tuple[AffineExpr, ...] = ()
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.index_array.rank != 1:
+            raise ValueError("index arrays must be one-dimensional")
+        if 1 + len(self.trailing) != self.array.rank:
+            raise ValueError(
+                f"{self.array.name} has rank {self.array.rank}; "
+                f"got 1 indirect + {len(self.trailing)} trailing indices"
+            )
+
+    @property
+    def is_regular(self) -> bool:
+        return False
+
+    def indices_at(
+        self, bindings: Bindings, runtime: RuntimeData
+    ) -> Tuple[int, ...]:
+        data = runtime.get(self.index_array.name)
+        if data is None:
+            raise UnresolvedIndirection(
+                f"index array {self.index_array.name!r} has no runtime contents"
+            )
+        slot = self.position.evaluate(bindings)
+        if not 0 <= slot < len(data):
+            raise IndexError(
+                f"index array {self.index_array.name}[{slot}] out of bounds"
+            )
+        first = int(data[slot]) + self.offset
+        rest = tuple(expr.evaluate(bindings) for expr in self.trailing)
+        return (first,) + rest
+
+    def address(
+        self,
+        bindings: Bindings,
+        space: ArraySpace,
+        runtime: Optional[RuntimeData] = None,
+    ) -> int:
+        if runtime is None:
+            raise UnresolvedIndirection(
+                f"indirect access through {self.index_array.name!r} requires "
+                "runtime index-array data"
+            )
+        return space.element_address(self.array, self.indices_at(bindings, runtime))
+
+    def __repr__(self) -> str:
+        rw = "W" if self.is_write else "R"
+        off = f"+{self.offset}" if self.offset else ""
+        return (
+            f"{self.array.name}[{self.index_array.name}"
+            f"[{self.position!r}]{off}]:{rw}"
+        )
+
+
+Reference = object  # AffineAccess | IndirectAccess (3.9-compatible alias)
+
+
+def read(index: AffineIndex) -> AffineAccess:
+    return AffineAccess(index, is_write=False)
+
+
+def write(index: AffineIndex) -> AffineAccess:
+    return AffineAccess(index, is_write=True)
+
+
+def gather(
+    array: ArrayDecl,
+    index_array: ArrayDecl,
+    position: ExprLike,
+    offset: int = 0,
+    trailing: Sequence[ExprLike] = (),
+    is_write: bool = False,
+) -> IndirectAccess:
+    """Build ``array[index_array[position] + offset][trailing...]``."""
+    return IndirectAccess(
+        array=array,
+        index_array=index_array,
+        position=as_expr(position),
+        offset=offset,
+        trailing=tuple(as_expr(t) for t in trailing),
+        is_write=is_write,
+    )
+
+
+def scatter(
+    array: ArrayDecl,
+    index_array: ArrayDecl,
+    position: ExprLike,
+    offset: int = 0,
+    trailing: Sequence[ExprLike] = (),
+) -> IndirectAccess:
+    """A write through an index array."""
+    return gather(array, index_array, position, offset, trailing, is_write=True)

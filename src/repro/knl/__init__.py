@@ -1,0 +1,18 @@
+"""KNL-like machine model: cluster modes as address-distribution policies."""
+
+from .machine import KnlConfig, knl_config
+from .modes import (
+    ClusterMode,
+    KnlDistribution,
+    first_touch_pages,
+    quadrant_of_node,
+)
+
+__all__ = [
+    "KnlConfig",
+    "knl_config",
+    "ClusterMode",
+    "KnlDistribution",
+    "first_touch_pages",
+    "quadrant_of_node",
+]

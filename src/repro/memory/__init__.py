@@ -1,0 +1,39 @@
+"""Memory system: addresses, distribution, translation, DRAM, controllers."""
+
+from .address import DEFAULT_LAYOUT, AddressLayout, is_power_of_two, log2_int
+from .controller import ControllerStats, MemoryController
+from .distribution import (
+    DataDistribution,
+    Granularity,
+    RoundRobinDistribution,
+    default_distribution,
+)
+from .dram import DDR3_1333, DDR4_2400, DramChannel, DramStats, DramTimings
+from .translation import (
+    IdentityTranslation,
+    OutOfPhysicalMemory,
+    PageTable,
+    identity_translation,
+)
+
+__all__ = [
+    "DEFAULT_LAYOUT",
+    "AddressLayout",
+    "is_power_of_two",
+    "log2_int",
+    "ControllerStats",
+    "MemoryController",
+    "DataDistribution",
+    "Granularity",
+    "RoundRobinDistribution",
+    "default_distribution",
+    "DDR3_1333",
+    "DDR4_2400",
+    "DramChannel",
+    "DramStats",
+    "DramTimings",
+    "IdentityTranslation",
+    "OutOfPhysicalMemory",
+    "PageTable",
+    "identity_translation",
+]

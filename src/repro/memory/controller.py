@@ -1,0 +1,101 @@
+"""Memory controllers: request queueing in front of a DRAM channel.
+
+Each MC owns one DRAM channel and a finite request buffer (250 entries,
+Table 4).  Requests are serviced FCFS; if the buffer is full the requester
+stalls until a slot frees up, which is how MC hot-spotting (the thing the
+paper's mapping spreads out) turns into latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .address import AddressLayout
+from .dram import DramChannel, DramTimings
+
+
+@dataclass
+class ControllerStats:
+    requests: int = 0
+    total_latency: int = 0
+    total_queue_delay: int = 0
+    buffer_stalls: int = 0
+
+    @property
+    def avg_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0
+
+    @property
+    def avg_queue_delay(self) -> float:
+        return self.total_queue_delay / self.requests if self.requests else 0.0
+
+
+class MemoryController:
+    """FCFS memory controller with a bounded request buffer."""
+
+    def __init__(
+        self,
+        index: int,
+        timings: DramTimings,
+        layout: AddressLayout,
+        buffer_entries: int = 250,
+        frontend_latency: int = 4,
+        num_channels: int = 4,
+    ):
+        if buffer_entries < 1:
+            raise ValueError("request buffer needs at least one entry")
+        if num_channels < 1:
+            raise ValueError("need at least one channel")
+        self.index = index
+        self.channel = DramChannel(timings, layout)
+        self.buffer_entries = buffer_entries
+        self.frontend_latency = frontend_latency
+        self.num_channels = num_channels
+        self.layout = layout
+        self.stats = ControllerStats()
+        # Completion times of requests currently occupying buffer slots.
+        self._inflight: List[int] = []
+
+    def _channel_address(self, addr: int) -> int:
+        """Compact the interleaved address into this channel's local space.
+
+        Page-interleaving gives this MC every ``num_channels``-th page; bank
+        and row bits must be taken *above* the channel-select bits or the
+        channel would only ever exercise ``banks/num_channels`` of its banks.
+        """
+        page = self.layout.page_number(addr)
+        local_page = page // self.num_channels
+        return self.layout.compose(local_page, self.layout.page_offset(addr))
+
+    def access(self, addr: int, time: int) -> int:
+        """Service a read/write for ``addr`` arriving at ``time``.
+
+        Returns the cycle the data is ready to leave the MC.
+        """
+        start = time
+        # Retire finished requests, then stall if the buffer is still full.
+        self._inflight = [t for t in self._inflight if t > start]
+        if len(self._inflight) >= self.buffer_entries:
+            earliest = min(self._inflight)
+            self.stats.buffer_stalls += 1
+            start = earliest
+            self._inflight = [t for t in self._inflight if t > start]
+        issue = start + self.frontend_latency
+        done = self.channel.access(self._channel_address(addr), issue)
+        self._inflight.append(done)
+        self.stats.requests += 1
+        self.stats.total_latency += done - time
+        self.stats.total_queue_delay += (start - time) + (
+            done - issue - self._pure_device_latency()
+        )
+        return done
+
+    def _pure_device_latency(self) -> int:
+        # Lower bound used only for the queue-delay statistic.
+        return self.channel.timings.row_hit_latency
+
+    def reset(self) -> None:
+        self.channel.reset()
+        self.stats = ControllerStats()
+        self._inflight.clear()

@@ -1,0 +1,50 @@
+"""Deterministic X-Y dimension-order routing.
+
+The paper's routers "employ X-Y routing with wormhole switching" (Section 2).
+X-Y routing first moves a packet along the X dimension until the destination
+column is reached, then along Y.  It is deadlock-free on a mesh and is the
+norm in commercial parts (Tilera, Xeon Phi), which is why the paper treats
+static routing as the baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .topology import Coord, Mesh2D
+
+
+def xy_path(mesh: Mesh2D, src: int, dst: int) -> List[int]:
+    """The sequence of node ids visited by a packet from ``src`` to ``dst``.
+
+    Includes both endpoints; a packet to itself yields ``[src]``.
+    """
+    sx, sy = mesh.coord(src)
+    dx, dy = mesh.coord(dst)
+    path = [mesh.node_id((sx, sy))]
+    x, y = sx, sy
+    step_x = 1 if dx > sx else -1
+    while x != dx:
+        x += step_x
+        path.append(mesh.node_id((x, y)))
+    step_y = 1 if dy > sy else -1
+    while y != dy:
+        y += step_y
+        path.append(mesh.node_id((x, y)))
+    return path
+
+
+def xy_links(mesh: Mesh2D, src: int, dst: int) -> List[Tuple[int, int]]:
+    """Directed links traversed from ``src`` to ``dst`` under X-Y routing."""
+    path = xy_path(mesh, src, dst)
+    return list(zip(path, path[1:]))
+
+
+def hop_count(mesh: Mesh2D, src: int, dst: int) -> int:
+    """Number of links traversed; equals the Manhattan distance on a mesh."""
+    return mesh.node_distance(src, dst)
+
+
+def path_coords(mesh: Mesh2D, src: int, dst: int) -> List[Coord]:
+    """Coordinates along the X-Y route (for visualisation / debugging)."""
+    return [mesh.coord(n) for n in xy_path(mesh, src, dst)]

@@ -1,0 +1,72 @@
+"""ASCII visualization of mesh state: placements, distances, link loads.
+
+Text renderings used by the examples and handy in a REPL when debugging a
+schedule: no plotting dependencies, stable column widths, region boundaries
+marked so the paper's R1..R9 structure is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from .topology import Mesh2D
+
+
+def render_node_values(
+    mesh: Mesh2D,
+    values: Mapping[int, float],
+    cell_width: int = 5,
+    fmt: str = "{:4.0f}",
+    region_w: int = 0,
+    region_h: int = 0,
+) -> str:
+    """Grid of per-node values; region boundaries drawn if sizes given."""
+    lines = []
+    for y in range(mesh.height):
+        if region_h and y % region_h == 0 and y > 0:
+            lines.append("-" * ((cell_width + 1) * mesh.width))
+        row = []
+        for x in range(mesh.width):
+            sep = "|" if (region_w and x % region_w == 0 and x > 0) else " "
+            value = values.get(mesh.node_id((x, y)), 0.0)
+            row.append(sep + fmt.format(value).rjust(cell_width - 1))
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def render_core_loads(
+    mesh: Mesh2D,
+    schedule: Mapping[int, int],
+    region_w: int = 2,
+    region_h: int = 2,
+) -> str:
+    """Iteration sets per core under a schedule."""
+    loads: Dict[int, float] = {}
+    for core in schedule.values():
+        loads[core] = loads.get(core, 0) + 1
+    return render_node_values(
+        mesh, loads, fmt="{:4.0f}", region_w=region_w, region_h=region_h
+    )
+
+
+def render_mc_distances(mesh: Mesh2D, mc: int) -> str:
+    """Manhattan distance of every node to one MC (sanity-check MAC)."""
+    values = {
+        node: float(mesh.distance_to_mc(node, mc)) for node in mesh.nodes()
+    }
+    return render_node_values(mesh, values)
+
+
+def render_link_utilization(
+    mesh: Mesh2D,
+    link_flits: Mapping[Tuple[int, int], int],
+    top: int = 10,
+) -> str:
+    """The ``top`` busiest directed links, one per line."""
+    ranked = sorted(link_flits.items(), key=lambda kv: -kv[1])[:top]
+    lines = ["busiest links (flits carried):"]
+    for (u, v), flits in ranked:
+        lines.append(
+            f"  {mesh.coord(u)} -> {mesh.coord(v)}: {flits}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,239 @@
+"""Execution engine: runs a scheduled program on a machine.
+
+Per-core timelines advance through the program's loop nests in order, with a
+barrier between nests (the nests are parallel loops; successive nests may
+depend on each other).  Cores are interleaved in global-time order via a
+heap so network/MC contention sees a realistic mix of traffic, executing a
+small chunk of iterations per turn to keep Python overhead bounded.
+
+A run is a list of :class:`TripPlan` -- one per trip of the outer timing
+loop.  Irregular codes use several trips: trip 1 runs the default schedule
+under observation (the *inspector*), later trips run the derived schedule
+(the *executor*); ``overhead_cycles`` charges the inspector's bookkeeping to
+every core at the end of its trip.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.iterspace import IterationSet
+
+from .machine import Manycore
+from .stats import RunStats
+from .trace import ProgramTrace, SetTrace
+
+
+@dataclass
+class ObservedSet:
+    """Runtime-observed behaviour of one iteration set (inspector output)."""
+
+    miss_mc: np.ndarray
+    hit_bank: np.ndarray
+    llc_hits: int = 0
+    llc_accesses: int = 0
+
+    @property
+    def hit_fraction(self) -> float:
+        if self.llc_accesses == 0:
+            return 0.0
+        return self.llc_hits / self.llc_accesses
+
+
+@dataclass
+class TripPlan:
+    """Schedule (and instrumentation) of one timing-loop trip.
+
+    ``observe_label`` turns on per-set observation recording for this trip;
+    trips sharing a label accumulate into the same table, so the inspector
+    trip and the executor trips can be compared afterwards.
+    """
+
+    schedules: Dict[int, Dict[int, int]]
+    observe_label: Optional[str] = None
+    overhead_cycles: int = 0
+
+
+class ExecutionEngine:
+    """Drives one program instance over one machine."""
+
+    def __init__(
+        self,
+        machine: Manycore,
+        trace: ProgramTrace,
+        chunk_iterations: int = 16,
+        barrier_cost: int = 100,
+    ):
+        if chunk_iterations < 1:
+            raise ValueError("chunk size must be positive")
+        self.machine = machine
+        self.trace = trace
+        self.chunk_iterations = chunk_iterations
+        self.barrier_cost = barrier_cost
+        self.observations: Dict[str, Dict[Tuple[int, int], ObservedSet]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, plans: List[TripPlan], start_cycle: int = 0) -> RunStats:
+        """Execute all trips; returns aggregate statistics.
+
+        ``start_cycle`` lets a caller continue a run (e.g. executor trips
+        after a separately run inspector trip) without resetting machine
+        component clocks: all core timelines begin there, and the returned
+        ``execution_cycles`` is the *absolute* finish time.
+        """
+        if not plans:
+            raise ValueError("need at least one trip plan")
+        stats = RunStats()
+        num_cores = self.machine.mesh.num_nodes
+        clock = [start_cycle] * num_cores
+        for plan in plans:
+            clock = self._run_trip(plan, clock, stats)
+            if plan.overhead_cycles:
+                clock = [t + plan.overhead_cycles for t in clock]
+                stats.overhead_cycles += plan.overhead_cycles
+        stats.execution_cycles = max(clock) if clock else 0
+        self.machine.fill_stats(stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    def _run_trip(
+        self, plan: TripPlan, clock: List[int], stats: RunStats
+    ) -> List[int]:
+        num_cores = self.machine.mesh.num_nodes
+        for nest_index in range(len(self.trace.instance.program.nests)):
+            schedule = plan.schedules.get(nest_index)
+            if schedule is None:
+                raise KeyError(f"no schedule for nest {nest_index}")
+            start = max(clock) + self.barrier_cost
+            clock = self._run_nest(
+                nest_index, schedule, start, num_cores, stats, plan.observe_label
+            )
+        return clock
+
+    def _run_nest(
+        self,
+        nest_index: int,
+        schedule: Dict[int, int],
+        start: int,
+        num_cores: int,
+        stats: RunStats,
+        observe_label: Optional[str],
+    ) -> List[int]:
+        cfg = self.machine.config
+        nest = self.trace.instance.program.nests[nest_index]
+        compute = nest.compute_cycles
+        overlap = 1.0 - cfg.stall_overlap
+        iteration_sets = self.trace.iteration_sets[nest_index]
+        sets_by_id = {s.set_id: s for s in iteration_sets}
+
+        # Per-core queue of set traces, in set-id order.
+        queues: Dict[int, List[SetTrace]] = {c: [] for c in range(num_cores)}
+        for set_id in sorted(schedule):
+            core = schedule[set_id]
+            queues[core].append(
+                self.trace.set_trace(nest_index, sets_by_id[set_id])
+            )
+
+        finish = [start] * num_cores
+        heap: List[Tuple[int, int]] = []
+        cursors: Dict[int, Tuple[int, int]] = {}  # core -> (queue idx, iter idx)
+        for core, queue in queues.items():
+            if queue:
+                cursors[core] = (0, 0)
+                heapq.heappush(heap, (start, core))
+
+        machine_access = self.machine.access
+        chunk = self.chunk_iterations
+        while heap:
+            t, core = heapq.heappop(heap)
+            qidx, k = cursors[core]
+            trace = queues[core][qidx]
+            addresses = trace.addresses
+            writes = trace.writes
+            n_refs = trace.refs_per_iteration
+            limit = min(trace.iterations, k + chunk)
+            observed = None
+            if observe_label is not None:
+                observed = self._observed_entry(
+                    observe_label, nest_index, trace.set_id
+                )
+            while k < limit:
+                t += compute
+                row = addresses[k]
+                for r in range(n_refs):
+                    timing = machine_access(
+                        core, int(row[r]), bool(writes[r]), t, trace.set_id
+                    )
+                    stall = timing.completion - t
+                    if timing.l1_hit:
+                        t += stall
+                    else:
+                        charged = int(stall * overlap)
+                        t += charged
+                        stats.memory_stall_cycles += charged
+                        if observed is not None:
+                            observed.llc_accesses += 1
+                            if timing.mc is not None:
+                                observed.miss_mc[timing.mc] += 1
+                            else:
+                                observed.llc_hits += 1
+                                observed.hit_bank[timing.home_bank] += 1
+                stats.iterations_executed += 1
+                k += 1
+            if k >= trace.iterations:
+                qidx += 1
+                k = 0
+            if qidx < len(queues[core]):
+                cursors[core] = (qidx, k)
+                heapq.heappush(heap, (t, core))
+            else:
+                finish[core] = t
+        return finish
+
+    def _observed_entry(
+        self, label: str, nest_index: int, set_id: int
+    ) -> ObservedSet:
+        table = self.observations.setdefault(label, {})
+        key = (nest_index, set_id)
+        entry = table.get(key)
+        if entry is None:
+            entry = ObservedSet(
+                miss_mc=np.zeros(self.machine.config.num_mcs, dtype=np.int64),
+                hit_bank=np.zeros(self.machine.mesh.num_nodes, dtype=np.int64),
+            )
+            table[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    def observed_mai(
+        self, label: str, nest_index: int, set_id: int
+    ) -> Optional[np.ndarray]:
+        """Normalized observed MAI of one set (None if never observed)."""
+        entry = self.observations.get(label, {}).get((nest_index, set_id))
+        if entry is None:
+            return None
+        total = entry.miss_mc.sum()
+        if total == 0:
+            return np.zeros_like(entry.miss_mc, dtype=float)
+        return entry.miss_mc / total
+
+    def observed_cai_regions(
+        self, label: str, nest_index: int, set_id: int, region_of_node
+    ) -> Optional[np.ndarray]:
+        """Observed CAI folded onto regions via ``region_of_node``."""
+        entry = self.observations.get(label, {}).get((nest_index, set_id))
+        if entry is None:
+            return None
+        num_regions = max(
+            region_of_node(n) for n in range(len(entry.hit_bank))
+        ) + 1
+        counts = np.zeros(num_regions, dtype=float)
+        for node, count in enumerate(entry.hit_bank):
+            if count:
+                counts[region_of_node(node)] += count
+        total = counts.sum()
+        return counts / total if total else counts

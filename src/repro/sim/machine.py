@@ -1,0 +1,260 @@
+"""The manycore machine: cores + caches + NoC + memory controllers.
+
+``Manycore.access`` walks one load/store through the full hierarchy and
+returns its completion time, generating network packets (with contention)
+along the way.  The message sequences follow Section 2:
+
+Private LLC
+    L1 miss -> local L2 (no NoC).  L2 miss -> request to the address's MC,
+    DRAM access, data response back to the node.
+
+Shared LLC (S-NUCA)
+    L1 miss -> request to the *home bank* (address-determined; possibly
+    remote).  Bank hit -> data response bank -> core.  Bank miss -> request
+    bank -> MC, DRAM, fill MC -> bank, then data bank -> core.
+
+Dirty evictions ride the network as writeback packets and coherence
+invalidations as control packets; both add traffic (contention) without
+extending the triggering access's critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cache.hierarchy import AccessOutcome, CacheHierarchy
+from repro.cache.snuca import LLCOrganization, SnucaMapper
+from repro.memory.controller import MemoryController
+from repro.memory.translation import IdentityTranslation, PageTable
+from repro.noc.analytic import AnalyticNetwork
+from repro.noc.network import BaseNetwork, WormholeNetwork
+from repro.noc.packet import Packet
+
+from .config import NetworkModel, SystemConfig
+from .stats import RunStats
+
+
+@dataclass(frozen=True)
+class AccessTiming:
+    """Timing/outcome of a single access (returned to the engine)."""
+
+    completion: int
+    network_cycles: int
+    l1_hit: bool
+    llc_hit: bool
+    home_bank: Optional[int] = None
+    mc: Optional[int] = None
+
+
+Observer = Callable[[int, int, bool, AccessTiming], None]
+"""Called as ``observer(tag, vaddr, is_write, timing)`` for every access."""
+
+
+class Manycore:
+    """One simulated machine instance."""
+
+    def __init__(self, config: SystemConfig, translation: Optional[object] = None):
+        self.config = config
+        self.mesh = config.build_mesh()
+        self.layout = config.layout()
+        self.distribution = config.build_distribution()
+        self.snuca = SnucaMapper(
+            mesh=self.mesh,
+            distribution=self.distribution,
+            organization=config.llc_organization,
+        )
+        self.hierarchy = CacheHierarchy(
+            num_nodes=self.mesh.num_nodes,
+            snuca=self.snuca,
+            l1_config=config.l1_config(),
+            l2_config=config.l2_config(),
+        )
+        self.network = self._build_network(config)
+        self.mcs: List[MemoryController] = [
+            MemoryController(
+                index=i,
+                timings=config.dram,
+                layout=self.layout,
+                buffer_entries=config.mc_buffer_entries,
+                num_channels=config.num_mcs,
+            )
+            for i in range(config.num_mcs)
+        ]
+        self.translation = translation or IdentityTranslation(self.layout)
+        self.observer: Optional[Observer] = None
+        self._line_mask = ~(config.l2_line_bytes - 1)
+
+    @staticmethod
+    def _build_network(config: SystemConfig) -> BaseNetwork:
+        mesh = config.build_mesh()
+        if config.network_model is NetworkModel.WORMHOLE:
+            return WormholeNetwork(mesh, router_delay=config.router_delay)
+        if config.network_model is NetworkModel.ANALYTIC:
+            return AnalyticNetwork(mesh, router_delay=config.router_delay)
+        return WormholeNetwork(
+            mesh, router_delay=config.router_delay, zero_latency=True
+        )
+
+    # ------------------------------------------------------------------
+    def _send(self, src: int, dst: int, time: int, payload_bytes: int) -> int:
+        """Inject one packet; returns its arrival time at ``dst``."""
+        if payload_bytes:
+            packet = Packet.data_response(src, dst, time, payload_bytes)
+        else:
+            packet = Packet.request(src, dst, time)
+        return self.network.transfer(packet)
+
+    def _fire_and_forget(self, src: int, dst: int, time: int, payload: int) -> None:
+        self._send(src, dst, time, payload)
+
+    # ------------------------------------------------------------------
+    def access(
+        self, core: int, vaddr: int, is_write: bool, time: int, tag: int = -1
+    ) -> AccessTiming:
+        """Execute one memory access issued by ``core`` at ``time``."""
+        paddr = self.translation.translate(vaddr)
+        outcome = self.hierarchy.access(core, paddr, is_write)
+        if outcome.l1_hit:
+            timing = AccessTiming(
+                completion=time + self.config.l1_latency,
+                network_cycles=0,
+                l1_hit=True,
+                llc_hit=True,
+            )
+            self._observe(tag, vaddr, is_write, timing)
+            return timing
+
+        timing = self._miss_path(core, paddr, time, outcome)
+        self._observe(tag, vaddr, is_write, timing)
+        return timing
+
+    def _miss_path(
+        self, core: int, paddr: int, time: int, outcome: AccessOutcome
+    ) -> AccessTiming:
+        cfg = self.config
+        bank = outcome.home_bank
+        bank_node = self.snuca.bank_node(bank)
+        line_bytes = cfg.l2_line_bytes
+        t = time + cfg.l1_latency  # L1 lookup preceded the miss
+        network_cycles = 0
+
+        # Leg 1: core -> home bank (shared LLC only; private banks are local).
+        if bank_node != core:
+            arrival = self._send(core, bank_node, t, payload_bytes=0)
+            network_cycles += arrival - t
+            t = arrival
+        t += cfg.llc_latency
+
+        mc_index: Optional[int] = None
+        if outcome.mc_needed:
+            mc_index = self.distribution.mc_of(paddr)
+            mc_node = self.mesh.mc_node(mc_index)
+            # Leg 2: bank -> MC request.
+            if mc_node != bank_node:
+                arrival = self._send(bank_node, mc_node, t, payload_bytes=0)
+                network_cycles += arrival - t
+                t = arrival
+            t = self.mcs[mc_index].access(paddr, t)
+            # Leg 3: the MC responds *directly to the requester* (standard
+            # directory-protocol fill), so the requesting core's proximity
+            # to the MC shortens the heavyweight data leg -- the effect the
+            # MAI/MAC placement exploits (Figure 1b/1d).  The home bank is
+            # filled off the critical path.
+            if bank_node != core and mc_node != bank_node:
+                self._fire_and_forget(mc_node, bank_node, t, line_bytes)
+            if mc_node != core:
+                arrival = self._send(mc_node, core, t, line_bytes)
+                network_cycles += arrival - t
+                t = arrival
+            return self._finish(
+                outcome, paddr, bank_node, t, network_cycles, mc_index
+            )
+        if outcome.coherence.forward_from_owner is not None:
+            # Dirty copy in another L1: bank forwards, owner sends the data.
+            owner = outcome.coherence.forward_from_owner
+            if owner != bank_node:
+                self._fire_and_forget(bank_node, owner, t, payload=0)
+            if owner != core:
+                arrival = self._send(owner, core, t, line_bytes)
+                network_cycles += arrival - t
+                t = arrival
+            return self._finish(
+                outcome, paddr, bank_node, t, network_cycles, mc_index
+            )
+
+        # Leg 4: bank -> core data response.
+        if bank_node != core:
+            arrival = self._send(bank_node, core, t, line_bytes)
+            network_cycles += arrival - t
+            t = arrival
+        return self._finish(outcome, paddr, bank_node, t, network_cycles, mc_index)
+
+    def _finish(
+        self,
+        outcome: AccessOutcome,
+        paddr: int,
+        bank_node: int,
+        t: int,
+        network_cycles: int,
+        mc_index: Optional[int],
+    ) -> AccessTiming:
+        cfg = self.config
+        # Off-critical-path traffic: LLC writeback of a dirty victim...
+        if outcome.llc_victim is not None:
+            victim_mc = self.distribution.mc_of(outcome.llc_victim)
+            victim_mc_node = self.mesh.mc_node(victim_mc)
+            if victim_mc_node != bank_node:
+                self._fire_and_forget(
+                    bank_node, victim_mc_node, t, cfg.l2_line_bytes
+                )
+        # ...and coherence invalidations to remote sharers.  One LLC line can
+        # cover several (smaller) L1 lines; drop them all.
+        if outcome.coherence.invalidate_nodes:
+            llc_line_base = paddr & self._line_mask
+            l1_line = cfg.l1_line_bytes
+            for node in outcome.coherence.invalidate_nodes:
+                if node != bank_node:
+                    self._fire_and_forget(bank_node, node, t, payload=0)
+                l1 = self.hierarchy.l1(node)
+                for offset in range(0, cfg.l2_line_bytes, l1_line):
+                    l1.invalidate(llc_line_base + offset)
+        return AccessTiming(
+            completion=t,
+            network_cycles=network_cycles,
+            l1_hit=False,
+            llc_hit=outcome.llc_hit,
+            home_bank=outcome.home_bank,
+            mc=mc_index,
+        )
+
+    # ------------------------------------------------------------------
+    def _observe(
+        self, tag: int, vaddr: int, is_write: bool, timing: AccessTiming
+    ) -> None:
+        if self.observer is not None:
+            self.observer(tag, vaddr, is_write, timing)
+
+    # ------------------------------------------------------------------
+    def fill_stats(self, stats: RunStats) -> None:
+        """Copy component counters into a :class:`RunStats`."""
+        net = self.network.stats
+        stats.network_packets = net.packets
+        stats.network_total_latency = net.total_latency
+        stats.network_total_hops = net.total_hops
+        stats.network_flit_hops = net.flit_hops
+        l1_acc, l1_hit = self.hierarchy.aggregate_l1_stats()
+        stats.l1_accesses, stats.l1_hits = l1_acc, l1_hit
+        llc_acc, llc_hit = self.hierarchy.aggregate_llc_stats()
+        stats.llc_accesses, stats.llc_hits = llc_acc, llc_hit
+        stats.dram_accesses = sum(mc.channel.stats.reads for mc in self.mcs)
+        stats.dram_row_hits = sum(mc.channel.stats.row_hits for mc in self.mcs)
+
+    def reset(self) -> None:
+        self.hierarchy.reset()
+        for mc in self.mcs:
+            mc.reset()
+        if hasattr(self.network, "reset"):
+            self.network.reset()
+        else:  # pragma: no cover - all concrete networks define reset
+            self.network.reset_stats()

@@ -1,0 +1,39 @@
+"""The 21-application benchmark suite (Table 3)."""
+
+from .base import (
+    Workload,
+    banded_columns,
+    bucketed_keys,
+    clustered_indices,
+    permutation_indices,
+    row_pointers,
+)
+from .irregular import IRREGULAR_FACTORIES
+from .regular import REGULAR_FACTORIES
+from .suite import (
+    KNL_SCALING_APPS,
+    LAYOUT_COMPARISON_APPS,
+    SUITE_ORDER,
+    build_suite,
+    build_workload,
+    suite_properties,
+    workload_names,
+)
+
+__all__ = [
+    "Workload",
+    "banded_columns",
+    "bucketed_keys",
+    "clustered_indices",
+    "permutation_indices",
+    "row_pointers",
+    "IRREGULAR_FACTORIES",
+    "REGULAR_FACTORIES",
+    "KNL_SCALING_APPS",
+    "LAYOUT_COMPARISON_APPS",
+    "SUITE_ORDER",
+    "build_suite",
+    "build_workload",
+    "suite_properties",
+    "workload_names",
+]

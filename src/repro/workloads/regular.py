@@ -1,0 +1,355 @@
+"""The ten regular benchmarks (compile-time-analyzable access patterns).
+
+Each factory builds a small synthetic program reproducing the reference
+structure of the benchmark it stands in for: the same classes of array
+references (streaming, stencil, strided panel, transpose-like), similar
+reference counts per iteration, and footprints that exceed per-core LLC
+capacity so the off-chip behaviour the paper optimizes actually occurs.
+
+Element sizes model the benchmarks' real per-point payloads (multi-field
+structs / several doubles), which is what makes modest iteration counts
+carry multi-megabyte footprints.
+"""
+
+from __future__ import annotations
+
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx, Param
+
+from .base import Workload
+
+I, J, K = Idx("i"), Idx("j"), Idx("k")
+N = Param("N")
+
+
+def make_mxm() -> Workload:
+    """Dense matrix multiply: row-streamed A, column-strided B."""
+    A = declare("A", N, N, elem_bytes=32)
+    B = declare("B", N, N, elem_bytes=32)
+    C = declare("C", N, N, elem_bytes=32)
+    compute = (
+        nest_builder("mxm.compute")
+        .loop("i", 0, N)
+        .loop("j", 0, N)
+        .reads(A(I, J), B(J, I))
+        .writes(C(I, J))
+        .compute(5)  # models the folded inner-product loop body
+        .build()
+    )
+    return Workload(
+        name="mxm",
+        program=Program("mxm", (compute,), default_params={"N": 160}),
+        regular=True,
+        description="dense matrix multiplication",
+    )
+
+
+def make_jacobi3d() -> Workload:
+    """7-point 3D Jacobi sweep, two half-steps (A->B, B->A)."""
+    A = declare("A", N, N, N, elem_bytes=128)
+    B = declare("B", N, N, N, elem_bytes=128)
+
+    def sweep(name, src, dst):
+        return (
+            nest_builder(name)
+            .loop("i", 1, N - 1)
+            .loop("j", 1, N - 1)
+            .loop("k", 1, N - 1)
+            .reads(
+                src(I, J, K),
+                src(I - 1, J, K),
+                src(I + 1, J, K),
+                src(I, J - 1, K),
+                src(I, J + 1, K),
+                src(I, J, K - 1),
+                src(I, J, K + 1),
+            )
+            .writes(dst(I, J, K))
+            .compute(6)
+            .build()
+        )
+
+    return Workload(
+        name="jacobi-3d",
+        program=Program(
+            "jacobi-3d",
+            (sweep("jacobi3d.fwd", A, B), sweep("jacobi3d.bwd", B, A)),
+            default_params={"N": 22},
+        ),
+        regular=True,
+        description="3D Jacobi stencil",
+    )
+
+
+def make_swim() -> Workload:
+    """Shallow-water kernel: two coupled 2D stencil sweeps over 6 fields."""
+    U = declare("U", N, N, elem_bytes=32)
+    V = declare("V", N, N, elem_bytes=32)
+    P = declare("P", N, N, elem_bytes=32)
+    UN = declare("UNEW", N, N, elem_bytes=32)
+    VN = declare("VNEW", N, N, elem_bytes=32)
+    PN = declare("PNEW", N, N, elem_bytes=32)
+    calc1 = (
+        nest_builder("swim.calc1")
+        .loop("i", 1, N - 1)
+        .loop("j", 1, N - 1)
+        .reads(U(I, J), V(I, J), P(I, J), P(I + 1, J), P(I, J + 1))
+        .writes(UN(I, J))
+        .compute(6)
+        .build()
+    )
+    calc2 = (
+        nest_builder("swim.calc2")
+        .loop("i", 1, N - 1)
+        .loop("j", 1, N - 1)
+        .reads(UN(I, J), U(I - 1, J), V(I, J - 1), P(I, J))
+        .writes(VN(I, J), PN(I, J))
+        .compute(6)
+        .build()
+    )
+    return Workload(
+        name="swim",
+        program=Program("swim", (calc1, calc2), default_params={"N": 112}),
+        regular=True,
+        description="shallow water modeling",
+    )
+
+
+def make_minighost() -> Workload:
+    """3D 7-point stencil plus a grid reduction (halo-exchange proxy)."""
+    G = declare("GRID", N, N, N, elem_bytes=64)
+    W = declare("WORK", N, N, N, elem_bytes=64)
+    S = declare("SUMS", N, N, elem_bytes=32)
+    stencil = (
+        nest_builder("minighost.stencil")
+        .loop("i", 1, N - 1)
+        .loop("j", 1, N - 1)
+        .loop("k", 1, N - 1)
+        .reads(
+            G(I, J, K),
+            G(I - 1, J, K),
+            G(I + 1, J, K),
+            G(I, J - 1, K),
+            G(I, J + 1, K),
+            G(I, J, K - 1),
+            G(I, J, K + 1),
+        )
+        .writes(W(I, J, K))
+        .compute(5)
+        .build()
+    )
+    reduce_nest = (
+        nest_builder("minighost.reduce")
+        .loop("i", 1, N - 1)
+        .loop("j", 1, N - 1)
+        .reads(W(I, J, 1))
+        .writes(S(I, J))
+        .compute(5)
+        .build()
+    )
+    return Workload(
+        name="minighost",
+        program=Program(
+            "minighost", (stencil, reduce_nest), default_params={"N": 24}
+        ),
+        regular=True,
+        description="finite-difference mini-app",
+    )
+
+
+def make_lulesh() -> Workload:
+    """Explicit hydrodynamics proxy over 1D element/node arrays."""
+    E = declare("ENERGY", N, elem_bytes=64)
+    Pr = declare("PRESSURE", N, elem_bytes=64)
+    Vol = declare("VOLUME", N, elem_bytes=64)
+    F = declare("FORCE", N, elem_bytes=64)
+    force = (
+        nest_builder("lulesh.force")
+        .loop("i", 1, N - 1)
+        .reads(E(I), Pr(I), Vol(I - 1), Vol(I + 1))
+        .writes(F(I))
+        .compute(5)
+        .build()
+    )
+    update = (
+        nest_builder("lulesh.update")
+        .loop("i", 0, N)
+        .reads(F(I), Vol(I))
+        .writes(E(I))
+        .compute(5)
+        .build()
+    )
+    return Workload(
+        name="lulesh",
+        program=Program("lulesh", (force, update), default_params={"N": 15000}),
+        regular=True,
+        description="shock hydrodynamics proxy (CORAL)",
+    )
+
+
+def make_art() -> Workload:
+    """Adaptive resonance network: weight-matrix sweeps in both layouts."""
+    M = Param("M")
+    Wt = declare("WEIGHTS", N, M, elem_bytes=32)
+    Fin = declare("F1", M, elem_bytes=32)
+    Fout = declare("F2", N, elem_bytes=32)
+    forward = (
+        nest_builder("art.forward")
+        .loop("i", 0, N)
+        .loop("j", 0, M)
+        .reads(Wt(I, J), Fin(J))
+        .writes(Fout(I))
+        .compute(6)
+        .build()
+    )
+    backward = (
+        nest_builder("art.backward")
+        .loop("i", 0, N)
+        .loop("j", 0, M)
+        .reads(Fout(I), Fin(J))
+        .writes(Wt(I, J))
+        .compute(6)
+        .build()
+    )
+    return Workload(
+        name="art",
+        program=Program(
+            "art", (forward, backward), default_params={"N": 256, "M": 160}
+        ),
+        regular=True,
+        description="image recognition neural net (SPEC OMP)",
+    )
+
+
+def make_fft() -> Workload:
+    """Iterative FFT proxy: butterfly stages at increasing strides."""
+    X = declare("XRE", N, elem_bytes=64)
+    Y = declare("XIM", N, elem_bytes=64)
+    Tw = declare("TWIDDLE", N, elem_bytes=64)
+
+    def stage(idx: int, stride: int):
+        upper = N - stride
+        return (
+            nest_builder(f"fft.stage{idx}")
+            .loop("i", 0, upper)
+            .reads(X(I), X(I + stride), Tw(I))
+            .writes(Y(I))
+            .compute(6)
+            .build()
+        )
+
+    stages = tuple(stage(s, 4 ** s) for s in range(4))
+    return Workload(
+        name="fft",
+        program=Program("fft", stages, default_params={"N": 8192}),
+        regular=True,
+        description="1D fast Fourier transform (butterfly stages)",
+    )
+
+
+def make_lu() -> Workload:
+    """Blocked LU decomposition proxy: trailing-submatrix update."""
+    A = declare("A", N, N, elem_bytes=32)
+    L = declare("L", N, N, elem_bytes=32)
+    U = declare("U", N, N, elem_bytes=32)
+    update = (
+        nest_builder("lu.update")
+        .loop("i", 1, N)
+        .loop("j", 1, N)
+        .reads(A(I, J), L(I, 0), U(0, J))
+        .writes(A(I, J))
+        .compute(6)
+        .build()
+    )
+    factor = (
+        nest_builder("lu.factor")
+        .loop("i", 0, N)
+        .reads(A(I, I))
+        .writes(L(I, 0), U(0, I))
+        .compute(5)
+        .build()
+    )
+    return Workload(
+        name="lu",
+        program=Program("lu", (update, factor), default_params={"N": 176}),
+        regular=True,
+        description="dense LU factorization (SPLASH-2 kernel)",
+    )
+
+
+def make_cholesky() -> Workload:
+    """Blocked Cholesky proxy: symmetric trailing update."""
+    A = declare("A", N, N, elem_bytes=64)
+    D = declare("DIAG", N, elem_bytes=32)
+    update = (
+        nest_builder("cholesky.update")
+        .loop("i", 1, N)
+        .loop("j", 1, N)
+        .reads(A(I, J), A(J, I), D(J))
+        .writes(A(I, J))
+        .compute(5)
+        .build()
+    )
+    scale = (
+        nest_builder("cholesky.scale")
+        .loop("i", 0, N)
+        .reads(A(I, I))
+        .writes(D(I))
+        .compute(6)
+        .build()
+    )
+    return Workload(
+        name="cholesky",
+        program=Program(
+            "cholesky", (update, scale), default_params={"N": 160}
+        ),
+        regular=True,
+        description="blocked Cholesky factorization (SPLASH-2)",
+    )
+
+
+def make_diff() -> Workload:
+    """Differential equation solver: 5-point relaxation + residual."""
+    U = declare("U", N, N, elem_bytes=64)
+    Unew = declare("UNEXT", N, N, elem_bytes=64)
+    R = declare("RESID", N, N, elem_bytes=32)
+    relax = (
+        nest_builder("diff.relax")
+        .loop("i", 1, N - 1)
+        .loop("j", 1, N - 1)
+        .reads(U(I, J), U(I - 1, J), U(I + 1, J), U(I, J - 1), U(I, J + 1))
+        .writes(Unew(I, J))
+        .compute(6)
+        .build()
+    )
+    residual = (
+        nest_builder("diff.residual")
+        .loop("i", 1, N - 1)
+        .loop("j", 1, N - 1)
+        .reads(Unew(I, J), U(I, J))
+        .writes(R(I, J))
+        .compute(6)
+        .build()
+    )
+    return Workload(
+        name="diff",
+        program=Program("diff", (relax, residual), default_params={"N": 104}),
+        regular=True,
+        description="differential equation solver",
+    )
+
+
+REGULAR_FACTORIES = {
+    "mxm": make_mxm,
+    "jacobi-3d": make_jacobi3d,
+    "swim": make_swim,
+    "minighost": make_minighost,
+    "lulesh": make_lulesh,
+    "art": make_art,
+    "fft": make_fft,
+    "lu": make_lu,
+    "cholesky": make_cholesky,
+    "diff": make_diff,
+}

@@ -1,0 +1,102 @@
+"""The 21-benchmark suite registry (Table 3).
+
+``build_workload(name)`` constructs one benchmark; ``build_suite`` the full
+set in the paper's Figure 7/8 order.  The six Figure 13 applications and the
+nine Figure 17 applications are exposed as named subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .base import Workload
+from .irregular import IRREGULAR_FACTORIES
+from .regular import REGULAR_FACTORIES
+
+_ALL_FACTORIES = {**REGULAR_FACTORIES, **IRREGULAR_FACTORIES}
+
+SUITE_ORDER: Sequence[str] = (
+    "barnes",
+    "fmm",
+    "radiosity",
+    "raytrace",
+    "volrend",
+    "water",
+    "cholesky",
+    "fft",
+    "lu",
+    "radix",
+    "jacobi-3d",
+    "lulesh",
+    "minighost",
+    "swim",
+    "mxm",
+    "art",
+    "nbf",
+    "hpccg",
+    "equake",
+    "moldyn",
+    "diff",
+)
+"""All 21 applications, in the order the paper's figures list them."""
+
+LAYOUT_COMPARISON_APPS: Sequence[str] = (
+    "jacobi-3d", "lulesh", "minighost", "swim", "mxm", "art",
+)
+"""The six applications the DO scheme could run on (Figure 13)."""
+
+KNL_SCALING_APPS: Sequence[str] = (
+    "fmm", "cholesky", "fft", "lu", "radix", "mxm", "hpccg", "moldyn", "diff",
+)
+"""The nine applications whose inputs could be scaled (Figure 17)."""
+
+
+def workload_names() -> List[str]:
+    return list(SUITE_ORDER)
+
+
+def build_workload(name: str) -> Workload:
+    """Construct one benchmark by name."""
+    factory = _ALL_FACTORIES.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(SUITE_ORDER)}"
+        )
+    return factory()
+
+
+def build_suite(names: Optional[Sequence[str]] = None) -> List[Workload]:
+    """Construct the full suite (or a named subset), in suite order."""
+    selected = list(names) if names is not None else list(SUITE_ORDER)
+    unknown = [n for n in selected if n not in _ALL_FACTORIES]
+    if unknown:
+        raise KeyError(f"unknown workloads: {unknown}")
+    return [build_workload(name) for name in selected]
+
+
+def suite_properties() -> List[Dict[str, object]]:
+    """Rows of the Table 3 reproduction (static columns).
+
+    The "fraction moved by load balancing" column depends on a machine
+    configuration and is filled in by the experiment harness.
+    """
+    rows = []
+    for name in SUITE_ORDER:
+        workload = build_workload(name)
+        instance = workload.instantiate()
+        total_sets = 0
+        for nest_index in range(len(instance.program.nests)):
+            size = instance.nest_domain(nest_index).size
+            from repro.ir.iterspace import partition_iteration_sets
+
+            total_sets += len(partition_iteration_sets(size))
+        rows.append(
+            {
+                "benchmark": name,
+                "loop_nests": workload.num_loop_nests,
+                "arrays": workload.num_arrays,
+                "iteration_sets": total_sets,
+                "regular": workload.regular,
+            }
+        )
+    return rows

@@ -1,0 +1,137 @@
+"""Baselines: round-robin default, hardware mapping, layout remap."""
+
+import pytest
+
+from repro.baselines.default import (
+    default_schedules,
+    partition_all_nests,
+    round_robin_schedule,
+)
+from repro.baselines.hardware import hardware_schedules
+from repro.baselines.layout import build_layout_remap
+from repro.cme.equations import oracle_estimator
+from repro.ir.iterspace import IterationSet
+from repro.memory.distribution import Granularity
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def small_instance():
+    workload = build_workload("mxm")
+    instance = workload.instantiate(scale=0.25)
+    sets = partition_all_nests(instance, set_fraction=0.01)
+    return instance, sets
+
+
+class TestRoundRobin:
+    def test_deals_in_order(self):
+        sets = [IterationSet(k, k * 10, (k + 1) * 10) for k in range(8)]
+        schedule = round_robin_schedule(sets, num_cores=3)
+        assert schedule == {0: 0, 1: 1, 2: 2, 3: 0, 4: 1, 5: 2, 6: 0, 7: 1}
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            round_robin_schedule([], num_cores=0)
+
+    def test_all_nests_scheduled(self, small_instance):
+        instance, sets = small_instance
+        schedules = default_schedules(instance, sets, 36)
+        assert set(schedules) == set(sets)
+        for nest_index, nest_sets in sets.items():
+            assert set(schedules[nest_index]) == {s.set_id for s in nest_sets}
+
+    def test_balanced_loads(self, small_instance):
+        instance, sets = small_instance
+        schedules = default_schedules(instance, sets, 36)
+        for sched in schedules.values():
+            loads = {}
+            for core in sched.values():
+                loads[core] = loads.get(core, 0) + 1
+            if len(sched) >= 36:
+                assert max(loads.values()) - min(loads.values()) <= 1
+
+
+class TestHardwareMapping:
+    def test_schedule_covers_all_sets(self, small_instance):
+        instance, sets = small_instance
+        mesh = DEFAULT_CONFIG.build_mesh()
+        schedules = hardware_schedules(
+            instance, sets, mesh, oracle_estimator()
+        )
+        for nest_index, nest_sets in sets.items():
+            assert set(schedules[nest_index]) == {s.set_id for s in nest_sets}
+
+    def test_work_to_thread_assignment_is_round_robin(self, small_instance):
+        """Sets k and k+P always share a core: only placement may differ
+        from the default schedule, never the work partitioning."""
+        instance, sets = small_instance
+        mesh = DEFAULT_CONFIG.build_mesh()
+        schedules = hardware_schedules(
+            instance, sets, mesh, oracle_estimator()
+        )
+        sched = schedules[0]
+        num_cores = mesh.num_nodes
+        for sid, core in sched.items():
+            partner = sid + num_cores
+            if partner in sched:
+                assert sched[partner] == core
+
+    def test_threads_sit_on_distinct_cores(self, small_instance):
+        instance, sets = small_instance
+        mesh = DEFAULT_CONFIG.build_mesh()
+        schedules = hardware_schedules(
+            instance, sets, mesh, oracle_estimator()
+        )
+        assert len(set(schedules[0].values())) == mesh.num_nodes
+
+
+class TestLayoutRemap:
+    def test_remap_respects_page_offsets(self, small_instance):
+        instance, sets = small_instance
+        cfg = DEFAULT_CONFIG
+        mesh = cfg.build_mesh()
+        schedules = default_schedules(instance, sets, 36)
+        translation = build_layout_remap(
+            instance, sets, schedules, mesh, cfg.build_distribution()
+        )
+        vaddr = instance.space.base("A") + 123
+        assert translation.translate(vaddr) % 2048 == vaddr % 2048
+
+    def test_remap_is_injective_on_pages(self, small_instance):
+        instance, sets = small_instance
+        cfg = DEFAULT_CONFIG
+        schedules = default_schedules(instance, sets, 36)
+        translation = build_layout_remap(
+            instance, sets, schedules, cfg.build_mesh(),
+            cfg.build_distribution(),
+        )
+        targets = list(translation.remap.values())
+        assert len(targets) == len(set(targets))
+
+    def test_remap_localizes_pages_to_preferred_mc(self, small_instance):
+        instance, sets = small_instance
+        cfg = DEFAULT_CONFIG
+        mesh = cfg.build_mesh()
+        dist = cfg.build_distribution()
+        schedules = default_schedules(instance, sets, 36)
+        translation = build_layout_remap(
+            instance, sets, schedules, mesh, dist
+        )
+        assert translation.remap  # something was re-homed
+        # Every remapped page's new MC equals some core's nearest MC.
+        nearest = {mesh.nearest_mc(c) for c in mesh.nodes()}
+        for vpn, ppn in list(translation.remap.items())[:50]:
+            assert dist.mc_of(ppn * 2048) in nearest
+
+    def test_line_granular_interleaving_disables_remap(self, small_instance):
+        instance, sets = small_instance
+        cfg = DEFAULT_CONFIG.with_updates(
+            mc_granularity=Granularity.CACHE_LINE
+        )
+        schedules = default_schedules(instance, sets, 36)
+        translation = build_layout_remap(
+            instance, sets, schedules, cfg.build_mesh(),
+            cfg.build_distribution(),
+        )
+        assert translation.remap == {}

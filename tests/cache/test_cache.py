@@ -1,0 +1,142 @@
+"""Set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import AccessResult, Cache
+
+
+def make_cache(size=1024, assoc=2, line=64):
+    return Cache(size_bytes=size, assoc=assoc, line_bytes=line)
+
+
+class TestBasics:
+    def test_geometry(self):
+        c = make_cache(size=1024, assoc=2, line=64)
+        assert c.num_sets == 8
+
+    def test_first_access_misses(self):
+        c = make_cache()
+        result, victim = c.access(0)
+        assert result is AccessResult.MISS
+        assert victim is None
+
+    def test_second_access_hits(self):
+        c = make_cache()
+        c.access(128)
+        result, _ = c.access(128 + 63)  # same line
+        assert result is AccessResult.HIT
+
+    def test_different_lines_are_distinct(self):
+        c = make_cache()
+        c.access(0)
+        result, _ = c.access(64)
+        assert result is AccessResult.MISS
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, assoc=2, line_bytes=64)
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1024, assoc=2, line_bytes=60)
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        c = make_cache(size=128, assoc=2, line=64)  # 1 set, 2 ways
+        c.access(0)
+        c.access(64)
+        c.access(128)        # evicts line 0 (LRU)
+        assert c.access(64)[0] is AccessResult.HIT
+        assert c.access(0)[0] is AccessResult.MISS
+
+    def test_touch_refreshes_lru(self):
+        c = make_cache(size=128, assoc=2, line=64)
+        c.access(0)
+        c.access(64)
+        c.access(0)          # refresh line 0
+        c.access(128)        # now evicts 64
+        assert c.access(0)[0] is AccessResult.HIT
+        assert c.access(64)[0] is AccessResult.MISS
+
+
+class TestDirtyEviction:
+    def test_clean_eviction_returns_none(self):
+        c = make_cache(size=128, assoc=2, line=64)
+        c.access(0)
+        c.access(64)
+        _, victim = c.access(128)
+        assert victim is None
+        assert c.stats.evictions == 1
+        assert c.stats.dirty_evictions == 0
+
+    def test_dirty_eviction_returns_victim_base(self):
+        c = make_cache(size=128, assoc=2, line=64)
+        c.access(0, is_write=True)
+        c.access(64)
+        _, victim = c.access(128)
+        assert victim == 0
+        assert c.stats.dirty_evictions == 1
+
+    def test_write_hit_marks_dirty(self):
+        c = make_cache(size=128, assoc=2, line=64)
+        c.access(0)
+        c.access(0, is_write=True)
+        c.access(64)
+        _, victim = c.access(128)
+        assert victim == 0
+
+
+class TestFillAndInvalidate:
+    def test_fill_does_not_count_access(self):
+        c = make_cache()
+        c.fill(0)
+        assert c.stats.accesses == 0
+        assert c.access(0)[0] is AccessResult.HIT
+
+    def test_fill_dirty_writes_back_on_eviction(self):
+        c = make_cache(size=128, assoc=2, line=64)
+        c.fill(0, dirty=True)
+        c.access(64)
+        _, victim = c.access(128)
+        assert victim == 0
+
+    def test_invalidate(self):
+        c = make_cache()
+        c.access(0)
+        assert c.invalidate(0)
+        assert not c.invalidate(0)
+        assert c.access(0)[0] is AccessResult.MISS
+
+    def test_lookup_nondestructive(self):
+        c = make_cache()
+        assert not c.lookup(0)
+        c.access(0)
+        assert c.lookup(0)
+        assert c.stats.accesses == 1
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_occupancy_bounded(self, addrs):
+        c = make_cache(size=512, assoc=4, line=64)
+        for addr in addrs:
+            c.access(addr)
+        assert c.resident_lines() <= 512 // 64
+
+    @given(st.lists(st.integers(0, 4095), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_hits_plus_misses(self, addrs):
+        c = make_cache()
+        for addr in addrs:
+            c.access(addr)
+        assert c.stats.hits + c.stats.misses == len(addrs)
+
+    @given(st.lists(st.integers(0, 1023), min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_immediate_rereference_always_hits(self, addrs):
+        c = make_cache()
+        for addr in addrs:
+            c.access(addr)
+            result, _ = c.access(addr)
+            assert result is AccessResult.HIT

@@ -1,0 +1,96 @@
+"""Two-level hierarchy walk: outcomes, victims, coherence wiring."""
+
+from repro.cache.hierarchy import CacheConfig, CacheHierarchy
+from repro.cache.snuca import LLCOrganization, SnucaMapper
+from repro.memory.address import AddressLayout
+from repro.memory.distribution import DataDistribution, Granularity
+from repro.noc.topology import Mesh2D
+
+LAYOUT = AddressLayout(line_bytes=64, page_bytes=2048)
+MESH = Mesh2D(6, 6)
+L1 = CacheConfig(size_bytes=512, assoc=2, line_bytes=32)
+L2 = CacheConfig(size_bytes=2048, assoc=2, line_bytes=64)
+
+
+def make_hierarchy(organization=LLCOrganization.SHARED):
+    dist = DataDistribution(
+        num_mcs=4, num_llc_banks=36, layout=LAYOUT,
+        bank_granularity=Granularity.PAGE,
+    )
+    snuca = SnucaMapper(mesh=MESH, distribution=dist, organization=organization)
+    return CacheHierarchy(36, snuca, l1_config=L1, l2_config=L2)
+
+
+class TestAccessPath:
+    def test_cold_access_goes_to_memory(self):
+        h = make_hierarchy()
+        outcome = h.access(core=0, paddr=0, is_write=False)
+        assert not outcome.l1_hit
+        assert not outcome.llc_hit
+        assert outcome.mc_needed
+        assert outcome.home_bank == 0
+
+    def test_l1_hit_touches_nothing_else(self):
+        h = make_hierarchy()
+        h.access(0, 0, False)
+        outcome = h.access(0, 0, False)
+        assert outcome.l1_hit
+        llc_accesses, _ = h.aggregate_llc_stats()
+        assert llc_accesses == 1
+
+    def test_llc_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        h.access(0, 0, False)
+        # Evict line 0 from L1 (same L1 set: stride = 512 bytes at 16 sets).
+        h.access(0, 512, False)
+        h.access(0, 1024, False)
+        outcome = h.access(0, 0, False)
+        assert not outcome.l1_hit
+        assert outcome.llc_hit
+        assert not outcome.mc_needed
+
+    def test_remote_home_bank_in_shared_mode(self):
+        h = make_hierarchy(LLCOrganization.SHARED)
+        addr = 9 * 2048  # page 9 -> bank 9
+        outcome = h.access(core=0, paddr=addr, is_write=False)
+        assert outcome.home_bank == 9
+
+    def test_private_home_bank_is_requester(self):
+        h = make_hierarchy(LLCOrganization.PRIVATE)
+        outcome = h.access(core=13, paddr=9 * 2048, is_write=False)
+        assert outcome.home_bank == 13
+
+
+class TestCoherenceIntegration:
+    def test_write_after_remote_readers_invalidates(self):
+        h = make_hierarchy()
+        h.access(1, 0, False)
+        h.access(2, 0, False)
+        outcome = h.access(3, 0, True)
+        assert set(outcome.coherence.invalidate_nodes) == {1, 2}
+
+    def test_read_of_remotely_dirty_line_forwards(self):
+        h = make_hierarchy()
+        h.access(4, 0, True)
+        outcome = h.access(5, 0, False)
+        assert outcome.coherence.forward_from_owner == 4
+
+
+class TestVictims:
+    def test_dirty_llc_victim_reported(self):
+        h = make_hierarchy()
+        bank0 = 0
+        # Fill bank 0's single LLC set beyond associativity with dirty lines.
+        # Bank 0 homes pages {0, 36, 72, ...}; L2 has 16 sets of 64B lines,
+        # so same-set lines within a page are 1024 bytes apart.
+        h.access(0, 0, True)
+        h.access(0, 1024, True)
+        outcome = h.access(0, 36 * 2048, True)  # same bank, same set
+        assert outcome.llc_victim in (0, 1024)
+
+    def test_reset(self):
+        h = make_hierarchy()
+        h.access(0, 0, False)
+        h.reset()
+        acc, hits = h.aggregate_l1_stats()
+        assert acc == 0 and hits == 0

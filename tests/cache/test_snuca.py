@@ -1,0 +1,73 @@
+"""S-NUCA bank homing."""
+
+import pytest
+
+from repro.cache.snuca import LLCOrganization, SnucaMapper
+from repro.memory.address import AddressLayout
+from repro.memory.distribution import DataDistribution, Granularity
+from repro.noc.topology import Mesh2D
+
+LAYOUT = AddressLayout(line_bytes=64, page_bytes=2048)
+MESH = Mesh2D(6, 6)
+
+
+def make_mapper(organization, bank_granularity=Granularity.PAGE):
+    dist = DataDistribution(
+        num_mcs=4,
+        num_llc_banks=36,
+        layout=LAYOUT,
+        bank_granularity=bank_granularity,
+    )
+    return SnucaMapper(mesh=MESH, distribution=dist, organization=organization)
+
+
+class TestPrivate:
+    def test_home_is_always_requester(self):
+        mapper = make_mapper(LLCOrganization.PRIVATE)
+        for requester in (0, 7, 35):
+            for addr in (0, 4096, 123456):
+                assert mapper.home_bank(addr, requester) == requester
+                assert mapper.is_local(addr, requester)
+
+
+class TestShared:
+    def test_home_is_address_determined(self):
+        mapper = make_mapper(LLCOrganization.SHARED)
+        addr = 7 * 2048
+        home = mapper.home_bank(addr, requester=0)
+        assert home == 7 % 36
+        # Requester identity is irrelevant.
+        assert mapper.home_bank(addr, requester=20) == home
+
+    def test_bank_node_identity(self):
+        mapper = make_mapper(LLCOrganization.SHARED)
+        for bank in range(36):
+            assert mapper.bank_node(bank) == bank
+
+    def test_is_local_only_for_matching_node(self):
+        mapper = make_mapper(LLCOrganization.SHARED)
+        addr = 5 * 2048
+        assert mapper.is_local(addr, requester=5)
+        assert not mapper.is_local(addr, requester=6)
+
+    def test_line_granularity_spreads_page(self):
+        mapper = make_mapper(
+            LLCOrganization.SHARED, bank_granularity=Granularity.CACHE_LINE
+        )
+        homes = {mapper.home_bank(addr, 0) for addr in range(0, 2048, 64)}
+        assert len(homes) == 32
+
+    def test_bank_count_must_match_mesh(self):
+        dist = DataDistribution(num_mcs=4, num_llc_banks=16, layout=LAYOUT)
+        with pytest.raises(ValueError):
+            SnucaMapper(
+                mesh=MESH, distribution=dist,
+                organization=LLCOrganization.SHARED,
+            )
+
+    def test_private_allows_mismatched_banks(self):
+        dist = DataDistribution(num_mcs=4, num_llc_banks=16, layout=LAYOUT)
+        mapper = SnucaMapper(
+            mesh=MESH, distribution=dist, organization=LLCOrganization.PRIVATE
+        )
+        assert mapper.home_bank(0, requester=11) == 11

@@ -1,0 +1,108 @@
+"""Statistical CME classifier."""
+
+import pytest
+
+from repro.cme.equations import CacheMissEstimator, oracle_estimator
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.iterspace import partition_iteration_sets
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx, Param
+
+I = Idx("i")
+N = Param("N")
+
+
+def streaming_program(n=4096, elem_bytes=64):
+    a = declare("A", N, elem_bytes=elem_bytes)
+    b = declare("B", N, elem_bytes=elem_bytes)
+    nest = nest_builder("copy").loop("i", 0, N).reads(b(I)).writes(a(I)).build()
+    return Program("copy", (nest,), default_params={"N": n})
+
+
+def reuse_program(n=64, elem_bytes=64):
+    """Every iteration re-touches a tiny array -> all hits after cold."""
+    a = declare("A", 8, elem_bytes=elem_bytes)
+    b = declare("B", N, elem_bytes=elem_bytes)
+    nest = (
+        nest_builder("hot").loop("i", 0, N)
+        .reads(a(0), a(1)).writes(b(I)).build()
+    )
+    return Program("hot", (nest,), default_params={"N": n})
+
+
+def estimate(program, estimator, nest_index=0):
+    instance = program.instantiate()
+    size = instance.nest_domain(nest_index).size
+    sets = partition_iteration_sets(size, set_size=max(8, size // 40))
+    return estimator.estimate_nest(instance, nest_index, sets), sets
+
+
+class TestClassification:
+    def test_streaming_past_capacity_mostly_misses(self):
+        estimator = oracle_estimator(llc_size_bytes=16 * 1024)
+        estimates, sets = estimate(streaming_program(), estimator)
+        total = sum(len(e.accesses) for e in estimates.values())
+        hits = sum(
+            sum(1 for a in e.accesses if a.llc_hit) for e in estimates.values()
+        )
+        assert total > 0
+        assert hits / total < 0.35
+
+    def test_hot_data_mostly_hits(self):
+        estimator = oracle_estimator(llc_size_bytes=16 * 1024)
+        estimates, _ = estimate(reuse_program(), estimator)
+        all_acc = [a for e in estimates.values() for a in e.accesses]
+        hot_hits = [a for a in all_acc if a.llc_hit]
+        assert len(hot_hits) / len(all_acc) > 0.4
+
+    def test_every_set_estimated(self):
+        estimator = oracle_estimator()
+        estimates, sets = estimate(streaming_program(), estimator)
+        assert set(estimates) == {s.set_id for s in sets}
+        assert all(e.accesses for e in estimates.values())
+
+    def test_hit_fraction_bounds(self):
+        estimator = oracle_estimator()
+        estimates, _ = estimate(streaming_program(), estimator)
+        for e in estimates.values():
+            assert 0.0 <= e.hit_fraction <= 1.0
+            assert e.miss_fraction == pytest.approx(1.0 - e.hit_fraction)
+
+
+class TestAccuracyKnob:
+    def test_degraded_accuracy_flips_labels(self):
+        program = streaming_program()
+        exact = oracle_estimator(llc_size_bytes=16 * 1024)
+        noisy = CacheMissEstimator(
+            llc_size_bytes=16 * 1024, accuracy=0.7, seed=5
+        )
+        e1, _ = estimate(program, exact)
+        e2, _ = estimate(program, noisy)
+        flips = 0
+        total = 0
+        for sid in e1:
+            for a, b in zip(e1[sid].accesses, e2[sid].accesses):
+                total += 1
+                flips += a.llc_hit != b.llc_hit
+        assert 0.15 < flips / total < 0.45  # ~30% expected
+
+    def test_invalid_accuracy(self):
+        with pytest.raises(ValueError):
+            CacheMissEstimator(accuracy=0.0)
+        with pytest.raises(ValueError):
+            CacheMissEstimator(accuracy=1.2)
+
+    def test_nest_hit_fraction_aggregate(self):
+        program = reuse_program()
+        estimator = oracle_estimator(llc_size_bytes=16 * 1024)
+        instance = program.instantiate()
+        sets = partition_iteration_sets(64, set_size=8)
+        fraction = estimator.nest_hit_fraction(instance, 0, sets)
+        assert 0.0 <= fraction <= 1.0
+
+
+def test_empty_set_list():
+    estimator = oracle_estimator()
+    instance = streaming_program().instantiate()
+    assert estimator.estimate_nest(instance, 0, []) == {}

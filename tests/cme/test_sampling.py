@@ -1,0 +1,56 @@
+"""Iteration-set sampling for estimation."""
+
+import pytest
+
+from repro.cme.sampling import sample_iteration_set, sampled_access_stream
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.iterspace import partition_iteration_sets
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx, Param
+
+I = Idx("i")
+N = Param("N")
+
+
+@pytest.fixture(scope="module")
+def instance():
+    a, b = declare("A", N), declare("B", N)
+    nest = nest_builder("t").loop("i", 0, N).reads(b(I)).writes(a(I)).build()
+    return Program("t", (nest,), default_params={"N": 400}).instantiate()
+
+
+class TestSampleIterationSet:
+    def test_small_set_fully_sampled(self, instance):
+        sets = partition_iteration_sets(400, set_size=10)
+        sampled = sample_iteration_set(instance, 0, sets[0], max_iterations=20)
+        assert len(sampled) == 10 * 2  # all iterations x 2 refs
+
+    def test_large_set_subsampled(self, instance):
+        sets = partition_iteration_sets(400, set_size=100)
+        sampled = sample_iteration_set(instance, 0, sets[0], max_iterations=8)
+        assert len(sampled) <= 8 * 2
+
+    def test_set_ids_tagged(self, instance):
+        sets = partition_iteration_sets(400, set_size=50)
+        sampled = sample_iteration_set(instance, 0, sets[3], max_iterations=4)
+        assert all(s.set_id == 3 for s in sampled)
+
+    def test_write_flags_preserved(self, instance):
+        sets = partition_iteration_sets(400, set_size=10)
+        sampled = sample_iteration_set(instance, 0, sets[0], max_iterations=2)
+        writes = [s.is_write for s in sampled]
+        assert True in writes and False in writes
+
+
+class TestStream:
+    def test_stream_preserves_set_order(self, instance):
+        sets = partition_iteration_sets(400, set_size=50)
+        stream = list(sampled_access_stream(instance, 0, sets, 4))
+        ids = [s.set_id for s in stream]
+        assert ids == sorted(ids)
+
+    def test_invalid_sample_count(self, instance):
+        sets = partition_iteration_sets(400, set_size=50)
+        with pytest.raises(ValueError):
+            list(sampled_access_stream(instance, 0, sets, 0))

@@ -1,0 +1,104 @@
+"""Affinity-vector algebra: normalization, eta metric, combination."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.affinity import (
+    affinity_from_counts,
+    affinity_from_targets,
+    best_region,
+    combined_eta,
+    eta,
+    is_normalized,
+)
+
+vectors = st.lists(
+    st.floats(0, 10, allow_nan=False), min_size=4, max_size=4
+).map(lambda v: affinity_from_counts(v, 4) if sum(v) > 0 else np.zeros(4))
+
+
+class TestConstruction:
+    def test_normalization(self):
+        vec = affinity_from_counts([2, 1, 1, 0], 4)
+        assert vec.sum() == pytest.approx(1.0)
+        assert is_normalized(vec)
+
+    def test_zero_counts_stay_zero(self):
+        vec = affinity_from_counts([0, 0, 0, 0], 4)
+        assert vec.sum() == 0.0
+        assert is_normalized(vec)  # all-zero is allowed
+
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            affinity_from_counts([1, 2], 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            affinity_from_counts([1, -1, 0, 0], 4)
+
+    def test_from_targets(self):
+        vec = affinity_from_targets([0, 0, 2, 1], 4)
+        assert vec == pytest.approx([0.5, 0.25, 0.25, 0])
+
+
+class TestEta:
+    def test_identical_vectors(self):
+        v = affinity_from_counts([1, 2, 3, 4], 4)
+        assert eta(v, v) == 0.0
+
+    def test_disjoint_unit_vectors(self):
+        a = np.array([1.0, 0, 0, 0])
+        b = np.array([0, 1.0, 0, 0])
+        assert eta(a, b) == pytest.approx(0.5)  # L1 distance 2 over m=4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            eta(np.zeros(4), np.zeros(9))
+
+    @given(vectors, vectors)
+    @settings(max_examples=60)
+    def test_metric_properties(self, a, b):
+        assert eta(a, b) >= 0.0
+        assert eta(a, b) == pytest.approx(eta(b, a))
+        assert eta(a, a) == 0.0
+
+    @given(vectors, vectors, vectors)
+    @settings(max_examples=60)
+    def test_triangle_inequality(self, a, b, c):
+        assert eta(a, c) <= eta(a, b) + eta(b, c) + 1e-12
+
+    @given(vectors, vectors)
+    @settings(max_examples=60)
+    def test_bounded_for_distributions(self, a, b):
+        # Two distributions differ by at most L1 distance 2 -> eta <= 2/m.
+        assert eta(a, b) <= 2.0 / 4 + 1e-12
+
+
+class TestCombinedEta:
+    def test_alpha_zero_is_pure_memory(self):
+        assert combined_eta(0.3, 0.7, alpha=0.0) == pytest.approx(0.7)
+
+    def test_alpha_one_is_pure_cache(self):
+        assert combined_eta(0.3, 0.7, alpha=1.0) == pytest.approx(0.3)
+
+    def test_midpoint(self):
+        assert combined_eta(0.2, 0.6, alpha=0.5) == pytest.approx(0.4)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            combined_eta(0.1, 0.1, alpha=-0.1)
+        with pytest.raises(ValueError):
+            combined_eta(0.1, 0.1, alpha=1.1)
+
+
+class TestBestRegion:
+    def test_strict_minimum(self):
+        assert best_region({0: 0.5, 1: 0.2, 2: 0.9}) == 1
+
+    def test_tie_goes_to_lowest_id(self):
+        assert best_region({2: 0.2, 0: 0.5, 1: 0.2}) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_region({})

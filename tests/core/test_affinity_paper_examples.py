@@ -1,0 +1,119 @@
+"""The paper's worked examples, verified exactly.
+
+* Figure 6a -- MAC vectors of the nine regions of a 9x9 mesh.
+* Figure 6c -- CAC vectors of the same regions.
+* Table 1 / Section 3.2 -- MAI (0.5, 0.25, 0.25, 0) from the four accesses
+  of Figure 5, and CAI (0, 0.25, 0, 0.5, 0, 0, 0, 0.25, 0).
+* Table 2 -- eta between those MAIs and each region's MAC (where the
+  paper's arithmetic is itself consistent; the printed table contains two
+  arithmetic typos, e.g. "(0.5+0.25+0.75+0)/4 = 0.325" which is 0.375).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.affinity import affinity_from_counts, best_region, eta
+from repro.core.proximity import cac_vector, mac_vector
+from repro.core.regions import RegionPartition
+from repro.noc.topology import Mesh2D
+
+
+@pytest.fixture
+def nine_regions():
+    """The paper's Figure 3/6 setting: 9x9 mesh, nine 3x3 regions."""
+    return RegionPartition(Mesh2D(9, 9), region_w=3, region_h=3)
+
+
+FIGURE_6A = {
+    0: (1.0, 0.0, 0.0, 0.0),      # R1
+    1: (0.5, 0.5, 0.0, 0.0),      # R2
+    2: (0.0, 1.0, 0.0, 0.0),      # R3
+    3: (0.5, 0.0, 0.0, 0.5),      # R4
+    4: (0.25, 0.25, 0.25, 0.25),  # R5
+    5: (0.0, 0.5, 0.5, 0.0),      # R6
+    6: (0.0, 0.0, 0.0, 1.0),      # R7
+    7: (0.0, 0.0, 0.5, 0.5),      # R8
+    8: (0.0, 0.0, 1.0, 0.0),      # R9
+}
+
+
+def test_figure_6a_mac_vectors(nine_regions):
+    for region, expected in FIGURE_6A.items():
+        mac = mac_vector(nine_regions, region)
+        assert mac == pytest.approx(np.array(expected)), f"region R{region+1}"
+
+
+def test_figure_6c_cac_vectors(nine_regions):
+    third = (1 - 0.5) / 3
+    expectations = {
+        0: [0.5, 0.25, 0, 0.25, 0, 0, 0, 0, 0],
+        1: [third, 0.5, third, 0, third, 0, 0, 0, 0],
+        4: [0, 0.125, 0, 0.125, 0.5, 0.125, 0, 0.125, 0],
+        8: [0, 0, 0, 0, 0, 0.25, 0, 0.25, 0.5],
+    }
+    for region, expected in expectations.items():
+        cac = cac_vector(nine_regions, region)
+        assert cac == pytest.approx(np.array(expected), abs=1e-9)
+
+
+def test_section_3_2_mai_example():
+    """Two accesses to MC1, one to MC2, one to MC3 -> (0.5, 0.25, 0.25, 0)."""
+    mai = affinity_from_counts([2, 1, 1, 0], 4)
+    assert mai == pytest.approx([0.5, 0.25, 0.25, 0.0])
+
+
+def test_section_3_6_cai_example():
+    """Hits: two in R4, one in R2, one in R8 (Table 1, third column)."""
+    counts = [0, 1, 0, 2, 0, 0, 0, 1, 0]
+    cai = affinity_from_counts(counts, 9)
+    assert cai == pytest.approx([0, 0.25, 0, 0.5, 0, 0, 0, 0.25, 0])
+
+
+class TestTable2:
+    """eta(MAI, MAC(R)) for the three MAI columns of Table 2."""
+
+    def etas(self, nine_regions, mai):
+        return {
+            r: eta(np.array(mai), mac_vector(nine_regions, r))
+            for r in range(9)
+        }
+
+    def test_first_column(self, nine_regions):
+        errors = self.etas(nine_regions, [0.5, 0.25, 0.25, 0])
+        assert errors[0] == pytest.approx(0.25)     # R1
+        # Table 2 prints R2 as (0 + 0.25 + 0.75 + 0)/4 = 0.25, but
+        # |0.25 - 0| is 0.25, not 0.75: the correct eta is 0.125, tying R5.
+        assert errors[1] == pytest.approx(0.125)    # R2 (paper typo: 0.25)
+        assert errors[2] == pytest.approx(0.375)    # R3
+        assert errors[3] == pytest.approx(0.25)     # R4
+        assert errors[4] == pytest.approx(0.125)    # R5
+        assert errors[6] == pytest.approx(0.5)      # R7
+        # The paper names R5 most preferable; with exact arithmetic R2 ties
+        # it, and the Algorithm 1 tie rule (first minimum) selects R2.
+        assert best_region(errors) in (1, 4)
+        assert min(errors.values()) == pytest.approx(0.125)
+
+    def test_second_column(self, nine_regions):
+        errors = self.etas(nine_regions, [0, 0, 0.5, 0.5])
+        assert errors[0] == pytest.approx(0.5)      # R1
+        assert errors[3] == pytest.approx(0.25)     # R4
+        assert errors[7] == pytest.approx(0.0)      # R8: exact match
+        # "the most preferable region would be R8"
+        assert best_region(errors) == 7
+
+    def test_third_column_refined_mai(self, nine_regions):
+        """Section 4's CME-refined MAI (0, 0.25, 0.25, 0): R5 and R6 tie."""
+        errors = self.etas(nine_regions, [0, 0.25, 0.25, 0])
+        assert errors[4] == pytest.approx(0.125)    # R5
+        assert errors[5] == pytest.approx(0.125)    # R6
+        # Ties resolve to the first region scanned (R5), matching Alg. 1.
+        assert best_region(errors) == 4
+
+
+def test_default_6x6_partition_reproduces_same_mac_shape():
+    """Table 4's 6x6 mesh with 2x2 regions yields the same 9-vector MACs."""
+    partition = RegionPartition(Mesh2D(6, 6), region_w=2, region_h=2)
+    for region, expected in FIGURE_6A.items():
+        assert mac_vector(partition, region) == pytest.approx(
+            np.array(expected)
+        )

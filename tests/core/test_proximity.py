@@ -1,0 +1,97 @@
+"""MAC/CAC construction beyond the exact paper examples."""
+
+import numpy as np
+import pytest
+
+from repro.core.proximity import (
+    MacMode,
+    cac_table,
+    cac_vector,
+    llc_mac_table,
+    mac_table,
+    mac_vector,
+)
+from repro.core.regions import RegionPartition
+from repro.noc.topology import MCPlacement, Mesh2D
+
+
+@pytest.fixture
+def partition():
+    return RegionPartition(Mesh2D(6, 6), 2, 2)
+
+
+class TestMacModes:
+    def test_nearest_vectors_are_sparse(self, partition):
+        for region in partition.regions():
+            mac = mac_vector(partition, region, mode=MacMode.NEAREST)
+            assert mac.sum() == pytest.approx(1.0)
+            assert np.count_nonzero(mac) in (1, 2, 4)
+
+    def test_inverse_distance_vectors_are_dense(self, partition):
+        for region in partition.regions():
+            mac = mac_vector(partition, region, mode=MacMode.INVERSE_DISTANCE)
+            assert mac.sum() == pytest.approx(1.0)
+            assert np.all(mac > 0)
+
+    def test_inverse_distance_prefers_near_mc(self, partition):
+        mac = mac_vector(partition, 0, mode=MacMode.INVERSE_DISTANCE)
+        assert mac[0] == max(mac)  # region R1 is nearest MC0
+
+    def test_edge_middle_placement_changes_macs(self):
+        corner = RegionPartition(Mesh2D(6, 6), 2, 2)
+        middle = RegionPartition(
+            Mesh2D(6, 6, mc_placement=MCPlacement.EDGE_MIDDLES), 2, 2
+        )
+        different = any(
+            not np.allclose(mac_vector(corner, r), mac_vector(middle, r))
+            for r in corner.regions()
+        )
+        assert different
+
+    def test_mac_table_covers_all_regions(self, partition):
+        table = mac_table(partition)
+        assert set(table) == set(partition.regions())
+
+    def test_llc_mac_table_coincides_for_colocated_banks(self, partition):
+        assert all(
+            np.allclose(a, b)
+            for a, b in zip(
+                mac_table(partition).values(),
+                llc_mac_table(partition).values(),
+            )
+        )
+
+
+class TestCacWeights:
+    def test_self_weight_is_respected(self, partition):
+        for weight in (0.3, 0.5, 0.8):
+            cac = cac_vector(partition, 4, self_weight=weight)
+            assert cac[4] == pytest.approx(weight)
+            assert cac.sum() == pytest.approx(1.0)
+
+    def test_neighbors_share_remainder_equally(self, partition):
+        cac = cac_vector(partition, 0, self_weight=0.6)
+        neighbors = partition.region_neighbors(0)
+        for n in neighbors:
+            assert cac[n] == pytest.approx(0.4 / len(neighbors))
+
+    def test_single_region_partition_keeps_all_weight(self):
+        single = RegionPartition(Mesh2D(6, 6), 6, 6)
+        cac = cac_vector(single, 0)
+        assert cac == pytest.approx([1.0])
+
+    def test_invalid_self_weight(self, partition):
+        with pytest.raises(ValueError):
+            cac_vector(partition, 0, self_weight=0.0)
+        with pytest.raises(ValueError):
+            cac_vector(partition, 0, self_weight=1.5)
+
+    def test_cac_table_covers_all_regions(self, partition):
+        table = cac_table(partition)
+        assert set(table) == set(partition.regions())
+
+    def test_36_region_cac_is_per_core(self):
+        fine = RegionPartition(Mesh2D(6, 6), 1, 1)
+        cac = cac_vector(fine, 0)
+        assert len(cac) == 36
+        assert cac[0] == pytest.approx(0.5)

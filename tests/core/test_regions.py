@@ -1,0 +1,98 @@
+"""Region partitioning of the mesh."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.regions import (
+    RegionPartition,
+    default_partition,
+    partition_by_count,
+)
+from repro.noc.topology import Mesh2D
+
+MESH = Mesh2D(6, 6)
+
+
+class TestDefaultPartition:
+    def test_nine_2x2_regions(self):
+        p = default_partition(MESH)
+        assert p.num_regions == 9
+        assert all(len(p.nodes_in_region(r)) == 4 for r in p.regions())
+
+    def test_every_node_in_exactly_one_region(self):
+        p = default_partition(MESH)
+        seen = []
+        for r in p.regions():
+            seen.extend(p.nodes_in_region(r))
+        assert sorted(seen) == list(MESH.nodes())
+
+    def test_row_major_region_numbering(self):
+        p = default_partition(MESH)
+        assert p.region_of_node(MESH.node_id((0, 0))) == 0   # R1 top-left
+        assert p.region_of_node(MESH.node_id((5, 0))) == 2   # R3 top-right
+        assert p.region_of_node(MESH.node_id((0, 5))) == 6   # R7 bottom-left
+        assert p.region_of_node(MESH.node_id((5, 5))) == 8   # R9 bottom-right
+
+    def test_region_center(self):
+        p = default_partition(MESH)
+        assert p.region_center(0) == (0.5, 0.5)
+        assert p.region_center(4) == (2.5, 2.5)
+
+
+class TestNeighbors:
+    def test_corner_region_has_two_neighbors(self):
+        p = default_partition(MESH)
+        assert sorted(p.region_neighbors(0)) == [1, 3]
+
+    def test_center_region_has_four(self):
+        p = default_partition(MESH)
+        assert sorted(p.region_neighbors(4)) == [1, 3, 5, 7]
+
+    def test_region_distance(self):
+        p = default_partition(MESH)
+        assert p.region_distance(0, 8) == 4
+        assert p.region_distance(2, 8) == 2  # the paper's R3/R9 example
+        assert p.region_distance(4, 4) == 0
+
+
+class TestPartitionByCount:
+    @pytest.mark.parametrize(
+        "count,region_shape",
+        [(4, (3, 3)), (6, (2, 3)), (9, (2, 2)), (18, (2, 1)), (36, (1, 1))],
+    )
+    def test_figure10_presets(self, count, region_shape):
+        p = partition_by_count(MESH, count)
+        assert p.num_regions == count
+        assert (p.region_w, p.region_h) == region_shape
+
+    def test_untileable_count_rejected(self):
+        with pytest.raises(ValueError):
+            partition_by_count(MESH, 7)
+
+    def test_single_region(self):
+        p = RegionPartition(MESH, region_w=6, region_h=6)
+        assert p.num_regions == 1
+        assert p.region_neighbors(0) == []
+
+    def test_8x8_mesh_partition(self):
+        p = RegionPartition(Mesh2D(8, 8), region_w=2, region_h=2)
+        assert p.num_regions == 16
+
+    def test_ragged_mesh_absorbs_remainder(self):
+        p = RegionPartition(Mesh2D(5, 5), region_w=2, region_h=2)
+        # ceil(5/2) = 3 region columns; edge regions take the leftovers.
+        assert p.num_regions == 9
+        total = sum(len(p.nodes_in_region(r)) for r in p.regions())
+        assert total == 25
+
+    def test_region_larger_than_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            RegionPartition(MESH, region_w=7, region_h=1)
+
+
+@given(st.integers(0, 35))
+@settings(max_examples=36)
+def test_membership_consistency(node):
+    p = default_partition(MESH)
+    region = p.region_of_node(node)
+    assert node in p.nodes_in_region(region)

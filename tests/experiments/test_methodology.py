@@ -1,0 +1,79 @@
+"""Measurement methodology: phase composition and steady-state metrics."""
+
+import pytest
+
+from repro.experiments.harness import run_workload
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads import build_workload
+
+SCALE = 0.4
+
+
+class TestExtrapolation:
+    def test_execution_grows_linearly_in_modeled_trips(self):
+        """total = cold + (T-1) * steady  =>  equal increments per trip."""
+        workload = build_workload("mxm")
+        cycles = {
+            trips: run_workload(
+                workload, DEFAULT_CONFIG, scale=SCALE, trips=trips
+            ).stats.execution_cycles
+            for trips in (4, 8, 12)
+        }
+        d1 = cycles[8] - cycles[4]
+        d2 = cycles[12] - cycles[8]
+        assert d1 == pytest.approx(d2, rel=1e-6)
+        assert d1 > 0
+
+    def test_cold_trip_dominates_short_runs(self):
+        workload = build_workload("mxm")
+        stats = run_workload(
+            workload, DEFAULT_CONFIG, scale=SCALE, trips=3
+        ).stats
+        steady = (
+            run_workload(
+                workload, DEFAULT_CONFIG, scale=SCALE, trips=4
+            ).stats.execution_cycles
+            - stats.execution_cycles
+        )
+        cold = stats.execution_cycles - 2 * steady
+        assert cold > steady  # cold misses make trip 1 the slowest
+
+
+class TestSteadyStateNetworkMetrics:
+    def test_network_stats_come_from_steady_trip_only(self):
+        """Trip-count changes must not change the measured avg latency:
+        it is taken from the single steady trip, not the extrapolation."""
+        workload = build_workload("mxm")
+        a = run_workload(workload, DEFAULT_CONFIG, scale=SCALE, trips=4)
+        b = run_workload(workload, DEFAULT_CONFIG, scale=SCALE, trips=12)
+        assert a.stats.avg_network_latency == pytest.approx(
+            b.stats.avg_network_latency
+        )
+        assert a.stats.network_packets == b.stats.network_packets
+
+    def test_steady_packets_smaller_than_total(self):
+        """The steady trip's packets are a subset of the whole run's."""
+        workload = build_workload("mxm")
+        result = run_workload(workload, DEFAULT_CONFIG, scale=SCALE)
+        machine_total = result.engine.machine.network.stats.packets
+        assert 0 < result.stats.network_packets < machine_total
+
+
+class TestInspectorAccounting:
+    def test_overhead_included_in_execution(self):
+        workload = build_workload("nbf")
+        with_cost = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=SCALE
+        )
+        from repro.core.inspector import InspectorCost
+
+        free = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=SCALE,
+            inspector_cost=InspectorCost(0.0, 0.0, 0),
+        )
+        assert with_cost.stats.overhead_cycles > 0
+        assert free.stats.overhead_cycles == 0
+        assert (
+            with_cost.stats.execution_cycles
+            >= free.stats.execution_cycles
+        )

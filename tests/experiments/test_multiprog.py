@@ -1,0 +1,53 @@
+"""Multi-programmed co-scheduling."""
+
+import pytest
+
+from repro.experiments.multiprog import (
+    MultiProgramResult,
+    run_multiprogrammed,
+)
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def bundle():
+    return [build_workload("mxm"), build_workload("fft")]
+
+
+class TestRunMultiprogrammed:
+    def test_default_bundle_runs(self, bundle):
+        result = run_multiprogrammed(
+            bundle, DEFAULT_CONFIG, mapping="default", scale=0.25
+        )
+        assert isinstance(result, MultiProgramResult)
+        assert result.makespan > 0
+        assert len(result.finish_times) == 2
+        assert result.makespan == max(result.finish_times.values())
+
+    def test_la_bundle_runs(self, bundle):
+        result = run_multiprogrammed(
+            bundle, DEFAULT_CONFIG, mapping="la", scale=0.25
+        )
+        assert result.makespan > 0
+
+    def test_bundle_slower_than_solo(self, bundle):
+        """Sharing the machine cannot beat running one app alone."""
+        solo = run_multiprogrammed(
+            bundle[:1], DEFAULT_CONFIG, mapping="default", scale=0.25
+        )
+        both = run_multiprogrammed(
+            bundle, DEFAULT_CONFIG, mapping="default", scale=0.25
+        )
+        assert both.makespan >= solo.makespan
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            run_multiprogrammed([], DEFAULT_CONFIG)
+
+    def test_irregular_member_supported(self):
+        bundle = [build_workload("mxm"), build_workload("nbf")]
+        result = run_multiprogrammed(
+            bundle, DEFAULT_CONFIG, mapping="la", scale=0.25
+        )
+        assert result.makespan > 0

@@ -1,0 +1,83 @@
+"""Oracle placement analysis."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import run_workload
+from repro.experiments.oracle import (
+    OracleAnalysis,
+    analyze_schedule,
+    set_traffic_cost,
+)
+from repro.noc.topology import Mesh2D
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.engine import ObservedSet
+from repro.workloads import build_workload
+
+MESH = Mesh2D(6, 6)
+
+
+def observed(hit_banks=(), miss_mcs=()):
+    entry = ObservedSet(
+        miss_mc=np.zeros(4, dtype=np.int64),
+        hit_bank=np.zeros(36, dtype=np.int64),
+    )
+    for bank in hit_banks:
+        entry.hit_bank[bank] += 1
+    for mc in miss_mcs:
+        entry.miss_mc[mc] += 1
+    return entry
+
+
+class TestSetTrafficCost:
+    def test_colocated_hits_are_free(self):
+        entry = observed(hit_banks=[7, 7, 7])
+        assert set_traffic_cost(7, entry, MESH) == 0.0
+
+    def test_hit_cost_scales_with_distance(self):
+        entry = observed(hit_banks=[0])
+        near = set_traffic_cost(1, entry, MESH)
+        far = set_traffic_cost(35, entry, MESH)
+        assert far > near > 0
+
+    def test_miss_cost_uses_mc_position(self):
+        entry = observed(miss_mcs=[0])  # MC0 at (0, 0)
+        at_corner = set_traffic_cost(0, entry, MESH)
+        opposite = set_traffic_cost(35, entry, MESH)
+        assert at_corner == 0.0
+        assert opposite > 0
+
+    def test_hits_cost_more_than_misses_per_hop(self):
+        """Hits pay request+data both ways; misses only the data leg."""
+        hit = set_traffic_cost(35, observed(hit_banks=[0]), MESH)
+        miss = set_traffic_cost(35, observed(miss_mcs=[0]), MESH)
+        assert hit > miss
+
+
+class TestOracleAnalysis:
+    def test_properties(self):
+        analysis = OracleAnalysis(
+            baseline_cost=100.0, mapped_cost=70.0, oracle_cost=50.0, sets=5
+        )
+        assert analysis.mapped_reduction == pytest.approx(30.0)
+        assert analysis.oracle_reduction == pytest.approx(50.0)
+        assert analysis.capture_ratio == pytest.approx(0.6)
+
+    def test_zero_baseline(self):
+        analysis = OracleAnalysis(0.0, 0.0, 0.0, 0)
+        assert analysis.mapped_reduction == 0.0
+        assert analysis.capture_ratio == 1.0
+
+    def test_end_to_end_ordering(self):
+        """oracle <= mapped <= ~baseline on a real run."""
+        workload = build_workload("mxm")
+        result = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=0.6, observe=True
+        )
+        analysis = analyze_schedule(
+            result.engine, "run", result.compiled.schedules
+        )
+        assert analysis.sets > 0
+        assert analysis.oracle_cost <= analysis.mapped_cost + 1e-9
+        assert analysis.mapped_cost <= analysis.baseline_cost * 1.05
+        assert 0.0 <= analysis.oracle_reduction <= 100.0

@@ -1,0 +1,97 @@
+"""Array declarations and the virtual address space."""
+
+import pytest
+
+from repro.ir.arrays import ArraySpace, declare
+from repro.ir.symbolic import Param
+
+N = Param("N")
+
+
+class TestDeclarations:
+    def test_shape_resolution(self):
+        a = declare("A", N, N)
+        assert a.resolved_shape({"N": 8}) == (8, 8)
+        assert a.size_bytes({"N": 8}) == 8 * 8 * 8
+
+    def test_symbolic_arithmetic_shapes(self):
+        a = declare("A", N * 2 + 1)
+        assert a.resolved_shape({"N": 3}) == (7,)
+
+    def test_elem_bytes(self):
+        a = declare("A", 10, elem_bytes=32)
+        assert a.size_bytes({}) == 320
+
+    def test_rank_checked_on_call(self):
+        a = declare("A", N, N)
+        with pytest.raises(ValueError):
+            a(1)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(ValueError):
+            declare("A")
+
+    def test_nonpositive_extent_rejected(self):
+        a = declare("A", N)
+        with pytest.raises(ValueError):
+            a.resolved_shape({"N": 0})
+
+
+class TestArraySpace:
+    def test_bases_are_page_aligned(self):
+        space = ArraySpace(page_bytes=2048)
+        a = declare("A", 100)
+        b = declare("B", 100)
+        space.place(a, {})
+        space.place(b, {})
+        assert space.base("A") % 2048 == 0
+        assert space.base("B") % 2048 == 0
+
+    def test_arrays_do_not_overlap(self):
+        space = ArraySpace(page_bytes=2048)
+        a = declare("A", 300)   # 2400 bytes -> 2 pages
+        b = declare("B", 10)
+        space.place(a, {})
+        space.place(b, {})
+        assert space.base("B") >= space.base("A") + 2400
+
+    def test_place_is_idempotent(self):
+        space = ArraySpace()
+        a = declare("A", 10)
+        assert space.place(a, {}) == space.place(a, {})
+
+    def test_element_address_row_major(self):
+        space = ArraySpace(page_bytes=2048)
+        a = declare("A", 4, 5, elem_bytes=8)
+        space.place(a, {})
+        base = space.base("A")
+        assert space.element_address(a, (0, 0)) == base
+        assert space.element_address(a, (0, 1)) == base + 8
+        assert space.element_address(a, (1, 0)) == base + 5 * 8
+        assert space.element_address(a, (3, 4)) == base + 19 * 8
+
+    def test_out_of_bounds_index(self):
+        space = ArraySpace()
+        a = declare("A", 4, 5)
+        space.place(a, {})
+        with pytest.raises(IndexError):
+            space.element_address(a, (4, 0))
+        with pytest.raises(IndexError):
+            space.element_address(a, (0, -1))
+
+    def test_rebase_moves_array(self):
+        space = ArraySpace(page_bytes=2048)
+        a = declare("A", 10)
+        space.place(a, {})
+        space.rebase("A", 10 * 2048)
+        assert space.base("A") == 10 * 2048
+
+    def test_rebase_unknown_array(self):
+        space = ArraySpace()
+        with pytest.raises(KeyError):
+            space.rebase("NOPE", 0)
+
+    def test_total_bytes_grows(self):
+        space = ArraySpace(page_bytes=2048)
+        space.place(declare("A", 1000), {})
+        assert space.total_bytes() >= 8000

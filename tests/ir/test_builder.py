@@ -1,0 +1,62 @@
+"""Builder DSL."""
+
+import pytest
+
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.refs import gather
+from repro.ir.symbolic import Idx, Param
+
+I, J = Idx("i"), Idx("j")
+N = Param("N")
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        a, b = declare("A", N, N), declare("B", N, N)
+        nest = (
+            nest_builder("t")
+            .loop("i", 0, N)
+            .loop("j", 1, N - 1)
+            .reads(b(I, J), b(I, J - 1))
+            .writes(a(I, J))
+            .compute(7)
+            .build()
+        )
+        assert nest.name == "t"
+        assert nest.domain.depth == 2
+        assert len(nest.reads) == 2
+        assert len(nest.writes) == 1
+        assert nest.compute_cycles == 7
+        assert nest.parallel
+
+    def test_sequential_flag(self):
+        a = declare("A", N)
+        nest = (
+            nest_builder("s").loop("i", 0, N).writes(a(I)).sequential().build()
+        )
+        assert not nest.parallel
+
+    def test_accesses_attaches_prebuilt_refs(self):
+        data = declare("D", N)
+        idx = declare("IDX", N)
+        out = declare("O", N)
+        nest = (
+            nest_builder("g")
+            .loop("i", 0, N)
+            .accesses(gather(data, idx, I))
+            .writes(out(I))
+            .build()
+        )
+        assert not nest.is_regular
+
+    def test_no_loops_rejected(self):
+        a = declare("A", N)
+        with pytest.raises(ValueError):
+            nest_builder("x").reads(a(0)).build()
+
+    def test_symbolic_and_constant_bounds_mix(self):
+        a = declare("A", 100)
+        nest = nest_builder("m").loop("i", 5, 50).writes(a(I)).build()
+        dom = nest.domain.resolve({})
+        assert dom.size == 45

@@ -1,0 +1,144 @@
+"""Dependence analysis: GCD / uniform-distance tests, parallel validation."""
+
+import pytest
+
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.dependence import (
+    analyze_nest,
+    provably_parallel,
+    validate_parallelism,
+)
+from repro.ir.refs import gather
+from repro.ir.symbolic import Idx, Param
+
+I, J = Idx("i"), Idx("j")
+N = Param("N")
+
+
+def simple_nest(*refs_spec):
+    builder = nest_builder("t").loop("i", 0, N)
+    return builder
+
+
+class TestParallelNests:
+    def test_elementwise_is_parallel(self):
+        a, b = declare("A", N), declare("B", N)
+        nest = (
+            nest_builder("axpy").loop("i", 0, N).reads(b(I)).writes(a(I)).build()
+        )
+        assert provably_parallel(nest)
+        validate_parallelism(nest)  # should not raise
+
+    def test_distinct_arrays_no_dependence(self):
+        a, b, c = declare("A", N), declare("B", N), declare("C", N)
+        nest = (
+            nest_builder("t").loop("i", 0, N)
+            .reads(b(I + 1), c(I - 1)).writes(a(I)).build()
+        )
+        assert analyze_nest(nest) == []
+
+
+class TestCarriedDependences:
+    def test_uniform_distance_detected(self):
+        a = declare("A", N)
+        nest = (
+            nest_builder("shift").loop("i", 0, N)
+            .reads(a(I - 1)).writes(a(I)).build()
+        )
+        deps = analyze_nest(nest)
+        assert any(d.loop_carried for d in deps)
+        carried = [d for d in deps if d.distance is not None][0]
+        assert carried.distance == (1,)
+
+    def test_marked_parallel_with_provable_dep_raises(self):
+        a = declare("A", N)
+        nest = (
+            nest_builder("bad").loop("i", 0, N)
+            .reads(a(I + 2)).writes(a(I)).build()
+        )
+        with pytest.raises(ValueError):
+            validate_parallelism(nest)
+
+    def test_sequential_nest_skips_validation(self):
+        a = declare("A", N)
+        nest = (
+            nest_builder("seq").loop("i", 0, N)
+            .reads(a(I + 1)).writes(a(I)).sequential().build()
+        )
+        validate_parallelism(nest)  # not parallel -> no check
+
+    def test_zero_distance_is_not_carried(self):
+        a = declare("A", N)
+        nest = (
+            nest_builder("inplace").loop("i", 0, N)
+            .reads(a(I)).writes(a(I)).build()
+        )
+        assert provably_parallel(nest)
+
+
+class TestGcdTest:
+    def test_coprime_strides_disjoint(self):
+        # write A[2i], read A[2i+1]: even vs odd indices never meet.
+        a = declare("A", 4 * N)
+        nest = (
+            nest_builder("evenodd").loop("i", 0, N)
+            .reads(a(2 * I + 1)).writes(a(2 * I)).build()
+        )
+        assert provably_parallel(nest)
+
+    def test_gcd_divisible_is_may_dependence(self):
+        a = declare("A", 4 * N)
+        nest = (
+            nest_builder("stride").loop("i", 0, N)
+            .reads(a(2 * I + 2)).writes(a(2 * I)).build()
+        )
+        deps = analyze_nest(nest)
+        assert any(d.loop_carried for d in deps)
+
+
+class TestIrregular:
+    def test_indirect_write_is_conservative(self):
+        data = declare("D", N)
+        idx = declare("IDX", N)
+        nest = (
+            nest_builder("scatter").loop("i", 0, N)
+            .accesses(gather(data, idx, I, is_write=True))
+            .reads(data(I))
+            .build()
+        )
+        deps = analyze_nest(nest)
+        assert any(d.loop_carried and d.distance is None for d in deps)
+
+    def test_indirect_may_dep_passes_validation(self):
+        # The annotation is the user's promise, as in the paper.
+        data = declare("D", N)
+        idx = declare("IDX", N)
+        nest = (
+            nest_builder("scatter").loop("i", 0, N)
+            .accesses(gather(data, idx, I, is_write=True))
+            .reads(data(I))
+            .build()
+        )
+        validate_parallelism(nest)  # no uniform distance -> allowed
+
+
+class Test2D:
+    def test_stencil_read_only_neighbors(self):
+        a, b = declare("A", N, N), declare("B", N, N)
+        nest = (
+            nest_builder("stencil").loop("i", 1, N - 1).loop("j", 1, N - 1)
+            .reads(a(I - 1, J), a(I + 1, J), a(I, J - 1), a(I, J + 1))
+            .writes(b(I, J))
+            .build()
+        )
+        assert provably_parallel(nest)
+
+    def test_diagonal_distance_vector(self):
+        a = declare("A", N, N)
+        nest = (
+            nest_builder("wavefront").loop("i", 1, N).loop("j", 1, N)
+            .reads(a(I - 1, J - 1)).writes(a(I, J)).build()
+        )
+        deps = [d for d in analyze_nest(nest) if d.distance is not None]
+        assert deps and deps[0].distance == (1, 1)

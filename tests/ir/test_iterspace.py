@@ -1,0 +1,121 @@
+"""Iteration domains, linearization, iteration-set partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.iterspace import (
+    ConcreteDomain,
+    domain,
+    partition_iteration_sets,
+)
+from repro.ir.symbolic import Param
+
+N = Param("N")
+
+
+class TestDomains:
+    def test_resolution(self):
+        d = domain(("i", 1, N - 1), ("j", 0, N)).resolve({"N": 10})
+        assert d.extents == (8, 10)
+        assert d.size == 80
+
+    def test_linearize_roundtrip_exhaustive(self):
+        d = ConcreteDomain(("i", "j"), (1, 2), (4, 6))
+        for linear in range(d.size):
+            bindings = d.iteration(linear)
+            assert d.linearize(bindings) == linear
+
+    def test_row_major_order(self):
+        d = ConcreteDomain(("i", "j"), (0, 0), (2, 3))
+        assert d.iteration(0) == {"i": 0, "j": 0}
+        assert d.iteration(1) == {"i": 0, "j": 1}
+        assert d.iteration(3) == {"i": 1, "j": 0}
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            ConcreteDomain(("i",), (5,), (4,))
+        d = ConcreteDomain(("i",), (0,), (4,))
+        with pytest.raises(IndexError):
+            d.iteration(4)
+        with pytest.raises(IndexError):
+            d.linearize({"i": 4})
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=30)
+    def test_size_is_product(self, a, b, c):
+        d = ConcreteDomain(("i", "j", "k"), (0, 0, 0), (a, b, c))
+        assert d.size == a * b * c
+        assert sum(1 for _ in d.iterations()) == d.size
+
+
+class TestIterationSets:
+    def test_default_fraction(self):
+        sets = partition_iteration_sets(10000)
+        # 0.25% of 10000 = 25 per set.
+        assert sets[0].size == 25
+        assert sets[0].start == 0
+        assert sets[-1].stop == 10000
+
+    def test_cover_exactly_once(self):
+        sets = partition_iteration_sets(1000, set_size=33)
+        covered = []
+        for s in sets:
+            covered.extend(s.linear_range())
+        assert covered == list(range(1000))
+
+    def test_ids_are_sequential(self):
+        sets = partition_iteration_sets(500, set_size=50)
+        assert [s.set_id for s in sets] == list(range(len(sets)))
+
+    def test_runt_tail_folded_into_last(self):
+        sets = partition_iteration_sets(101, set_size=50)
+        # Tail of 1 (< 50/4) folds into the previous set.
+        assert len(sets) == 2
+        assert sets[-1].size == 51
+
+    def test_min_size_floor(self):
+        sets = partition_iteration_sets(100)  # 0.25% would be 0
+        assert all(s.size >= 8 for s in sets[:-1])
+
+    def test_explicit_size_overrides_fraction(self):
+        sets = partition_iteration_sets(1000, set_size=100, set_fraction=0.5)
+        assert sets[0].size == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_iteration_sets(0)
+        with pytest.raises(ValueError):
+            partition_iteration_sets(100, set_fraction=0.0)
+
+    @given(st.integers(1, 5000), st.integers(1, 300))
+    @settings(max_examples=60)
+    def test_partition_invariants(self, total, size):
+        sets = partition_iteration_sets(total, set_size=size)
+        assert sets[0].start == 0
+        assert sets[-1].stop == total
+        for a, b in zip(sets, sets[1:]):
+            assert a.stop == b.start
+        assert all(s.size > 0 for s in sets)
+
+
+class TestSampling:
+    def test_sample_small_set_returns_all(self):
+        d = ConcreteDomain(("i",), (0,), (100,))
+        sets = partition_iteration_sets(100, set_size=10)
+        points = sets[0].sample(d, max_points=20)
+        assert len(points) == 10
+
+    def test_sample_large_set_is_spread(self):
+        d = ConcreteDomain(("i",), (0,), (1000,))
+        sets = partition_iteration_sets(1000, set_size=1000)
+        points = sets[0].sample(d, max_points=10)
+        assert len(points) <= 10
+        values = [p["i"] for p in points]
+        assert values == sorted(values)
+        assert values[-1] - values[0] > 500  # spans the set
+
+    def test_sample_validates(self):
+        d = ConcreteDomain(("i",), (0,), (10,))
+        sets = partition_iteration_sets(10, set_size=10)
+        with pytest.raises(ValueError):
+            sets[0].sample(d, max_points=0)

@@ -1,0 +1,90 @@
+"""Affine symbolic expressions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ir.symbolic import AffineExpr, Idx, NonAffineError, Param, as_expr
+
+
+class TestConstruction:
+    def test_constant(self):
+        e = AffineExpr.constant(5)
+        assert e.is_constant()
+        assert e.evaluate({}) == 5
+
+    def test_symbol(self):
+        i = Idx("i")
+        assert i.evaluate({"i": 7}) == 7
+        assert i.symbols() == ("i",)
+
+    def test_as_expr_coerces_ints(self):
+        assert as_expr(3).const == 3
+
+
+class TestArithmetic:
+    def test_addition_and_scaling(self):
+        i, j = Idx("i"), Idx("j")
+        e = 2 * i + j - 3
+        assert e.evaluate({"i": 5, "j": 1}) == 8
+        assert e.coefficient("i") == 2
+        assert e.coefficient("j") == 1
+        assert e.coefficient("k") == 0
+
+    def test_subtraction_both_directions(self):
+        i = Idx("i")
+        assert (i - 1).evaluate({"i": 4}) == 3
+        assert (10 - i).evaluate({"i": 4}) == 6
+
+    def test_symbol_cancellation(self):
+        i = Idx("i")
+        e = i - i
+        assert e.is_constant()
+        assert e.const == 0
+
+    def test_product_of_symbols_rejected(self):
+        i, j = Idx("i"), Idx("j")
+        with pytest.raises(NonAffineError):
+            _ = i * j
+
+    def test_product_with_constant_expr_allowed(self):
+        i = Idx("i")
+        two = AffineExpr.constant(2)
+        assert (i * two).evaluate({"i": 3}) == 6
+        assert (two * i).evaluate({"i": 3}) == 6
+
+    def test_negation(self):
+        i = Idx("i")
+        assert (-(2 * i + 1)).evaluate({"i": 3}) == -7
+
+
+class TestEvaluation:
+    def test_unbound_symbol_raises(self):
+        with pytest.raises(KeyError):
+            Idx("i").evaluate({})
+
+    def test_substitute_partial(self):
+        i, n = Idx("i"), Param("N")
+        e = i + 2 * n
+        partial = e.substitute({"N": 10})
+        assert partial.symbols() == ("i",)
+        assert partial.evaluate({"i": 1}) == 21
+
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(-10, 10))
+    def test_linearity(self, a, b, x):
+        i = Idx("i")
+        e = a * i + b
+        assert e.evaluate({"i": x}) == a * x + b
+
+    @given(st.integers(-20, 20), st.integers(-20, 20))
+    def test_addition_commutes(self, a, b):
+        i, j = Idx("i"), Idx("j")
+        e1 = a * i + b * j
+        e2 = b * j + a * i
+        bindings = {"i": 3, "j": -4}
+        assert e1.evaluate(bindings) == e2.evaluate(bindings)
+        assert e1 == e2  # canonical ordering of coefficients
+
+
+def test_repr_is_readable():
+    i = Idx("i")
+    assert "i" in repr(2 * i + 1)

@@ -1,0 +1,186 @@
+"""Loop transformations: interchange, strip-mining, tiling, fusion."""
+
+import pytest
+
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx, Param
+from repro.ir.transforms import (
+    IllegalTransform,
+    fuse,
+    interchange,
+    strip_mine,
+    tile,
+)
+
+I, J = Idx("i"), Idx("j")
+N = Param("N")
+
+
+def stencil_nest():
+    a, b = declare("A", N, N), declare("B", N, N)
+    return (
+        nest_builder("stencil").loop("i", 0, N).loop("j", 0, N)
+        .reads(a(I, J)).writes(b(I, J)).build()
+    )
+
+
+def all_iteration_addresses(nest, params):
+    """Address multiset of every reference over every iteration."""
+    program = Program("t", (nest,), default_params=params)
+    instance = program.instantiate()
+    dom = instance.nest_domain(0)
+    out = []
+    for bindings in dom.iterations():
+        out.extend(addr for addr, _ in instance.addresses_for(0, bindings))
+    return sorted(out)
+
+
+class TestInterchange:
+    def test_swaps_loop_order(self):
+        nest = interchange(stencil_nest(), ["j", "i"])
+        assert nest.domain.names == ("j", "i")
+
+    def test_preserves_touched_addresses(self):
+        original = stencil_nest()
+        swapped = interchange(stencil_nest(), ["j", "i"])
+        assert all_iteration_addresses(original, {"N": 6}) == \
+            all_iteration_addresses(swapped, {"N": 6})
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            interchange(stencil_nest(), ["i", "k"])
+
+    def test_legal_with_nonnegative_distances(self):
+        a = declare("A", N, N)
+        nest = (
+            nest_builder("wave").loop("i", 1, N).loop("j", 1, N)
+            .reads(a(I - 1, J - 1)).writes(a(I, J)).build()
+        )
+        # distance (-1, -1) read->write i.e. (1, 1) flow: stays positive.
+        interchange(nest, ["j", "i"])
+
+    def test_illegal_reversal_rejected(self):
+        a = declare("A", N, N)
+        # dependence distance (1, -1): legal as written, reversed by swap.
+        nest = (
+            nest_builder("skew").loop("i", 0, N - 1).loop("j", 1, N)
+            .reads(a(I + 1, J - 1)).writes(a(I, J)).sequential().build()
+        )
+        with pytest.raises(IllegalTransform):
+            interchange(nest, ["j", "i"])
+
+
+class TestStripMine:
+    def test_splits_one_loop(self):
+        a = declare("A", 64)
+        nest = nest_builder("v").loop("i", 0, 64).writes(a(I)).build()
+        mined = strip_mine(nest, "i", 16)
+        assert mined.domain.names == ("i", "i#")
+        dom = mined.domain.resolve({})
+        assert dom.extents == (4, 16)
+
+    def test_preserves_touched_addresses(self):
+        a = declare("A", 64)
+        nest = nest_builder("v").loop("i", 0, 64).writes(a(I)).build()
+        mined = strip_mine(nest, "i", 8)
+        assert all_iteration_addresses(nest, {}) == \
+            all_iteration_addresses(mined, {})
+
+    def test_nonzero_lower_bound_offsets_refs(self):
+        a = declare("A", 70)
+        nest = nest_builder("v").loop("i", 10, 70).writes(a(I)).build()
+        mined = strip_mine(nest, "i", 10)
+        assert all_iteration_addresses(nest, {}) == \
+            all_iteration_addresses(mined, {})
+
+    def test_symbolic_bounds_resolved_via_params(self):
+        a = declare("A", N)
+        nest = nest_builder("v").loop("i", 0, N).writes(a(I)).build()
+        mined = strip_mine(nest, "i", 8, params={"N": 32})
+        assert mined.domain.resolve({}).size == 32
+
+    def test_indivisible_extent_rejected(self):
+        a = declare("A", 60)
+        nest = nest_builder("v").loop("i", 0, 60).writes(a(I)).build()
+        with pytest.raises(ValueError):
+            strip_mine(nest, "i", 16)
+
+    def test_unresolved_symbolic_bounds_rejected(self):
+        a = declare("A", N)
+        nest = nest_builder("v").loop("i", 0, N).writes(a(I)).build()
+        with pytest.raises(ValueError):
+            strip_mine(nest, "i", 8)
+
+
+class TestTile:
+    def test_2d_tiling_structure(self):
+        a, b = declare("A", 32, 32), declare("B", 32, 32)
+        nest = (
+            nest_builder("t").loop("i", 0, 32).loop("j", 0, 32)
+            .reads(a(I, J)).writes(b(I, J)).build()
+        )
+        tiled = tile(nest, {"i": 8, "j": 8})
+        assert tiled.domain.names == ("i", "j", "i#", "j#")
+        assert tiled.domain.resolve({}).extents == (4, 4, 8, 8)
+
+    def test_tiling_preserves_addresses(self):
+        a, b = declare("A", 16, 16), declare("B", 16, 16)
+        nest = (
+            nest_builder("t").loop("i", 0, 16).loop("j", 0, 16)
+            .reads(a(I, J + 0)).writes(b(I, J)).build()
+        )
+        tiled = tile(nest, {"i": 4, "j": 4})
+        assert all_iteration_addresses(nest, {}) == \
+            all_iteration_addresses(tiled, {})
+
+    def test_negative_distance_blocks_tiling(self):
+        # Oriented distance (1, -1): negative in j, so tiling the (i, j)
+        # band is not fully permutable.
+        a = declare("A", 32, 32)
+        nest = (
+            nest_builder("skewed").loop("i", 0, 31).loop("j", 1, 32)
+            .reads(a(I + 1, J - 1)).writes(a(I, J)).sequential().build()
+        )
+        with pytest.raises(IllegalTransform):
+            tile(nest, {"i": 8, "j": 8})
+
+
+class TestFuse:
+    def test_bodies_concatenate(self):
+        a, b, c = declare("A", N), declare("B", N), declare("C", N)
+        first = nest_builder("f").loop("i", 0, N).reads(a(I)).writes(b(I)).build()
+        second = nest_builder("g").loop("i", 0, N).reads(b(I)).writes(c(I)).build()
+        fused = fuse(first, second)
+        assert len(fused.references) == 4
+        assert fused.compute_cycles == first.compute_cycles + second.compute_cycles
+
+    def test_domain_mismatch_rejected(self):
+        a = declare("A", N)
+        first = nest_builder("f").loop("i", 0, N).writes(a(I)).build()
+        second = nest_builder("g").loop("i", 1, N).writes(a(I)).build()
+        with pytest.raises(IllegalTransform):
+            fuse(first, second)
+
+    def test_backward_dependence_rejected(self):
+        a, b = declare("A", N), declare("B", N)
+        # second reads a[i+1], first writes a[i]: fused, iteration i reads
+        # a value iteration i+1 writes -> backward (negative distance).
+        first = nest_builder("f").loop("i", 0, N - 1).writes(a(I)).build()
+        second = (
+            nest_builder("g").loop("i", 0, N - 1)
+            .reads(a(I + 1)).writes(b(I)).build()
+        )
+        with pytest.raises(IllegalTransform):
+            fuse(first, second)
+
+    def test_forward_dependence_allowed(self):
+        a, b = declare("A", N), declare("B", N)
+        first = nest_builder("f").loop("i", 1, N).writes(a(I)).build()
+        second = (
+            nest_builder("g").loop("i", 1, N)
+            .reads(a(I - 1)).writes(b(I)).build()
+        )
+        fused = fuse(first, second)
+        assert fused.domain == first.domain

@@ -1,0 +1,62 @@
+"""Property-based checks: transformations preserve the touched-address set."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx
+from repro.ir.transforms import interchange, strip_mine
+
+I, J = Idx("i"), Idx("j")
+
+
+def addresses(nest):
+    instance = Program("p", (nest,)).instantiate()
+    dom = instance.nest_domain(0)
+    out = []
+    for bindings in dom.iterations():
+        out.extend(a for a, _ in instance.addresses_for(0, bindings))
+    return sorted(out)
+
+
+@given(
+    extent=st.sampled_from([8, 12, 16, 24]),
+    factor=st.sampled_from([2, 4]),
+    offset=st.integers(-2, 2),
+)
+@settings(max_examples=25, deadline=None)
+def test_strip_mine_preserves_addresses(extent, factor, offset):
+    lo = max(0, offset)
+    a = declare("A", lo + extent)
+    nest = nest_builder("v").loop("i", lo, lo + extent).writes(a(I)).build()
+    mined = strip_mine(nest, "i", factor)
+    assert addresses(nest) == addresses(mined)
+
+
+@given(
+    rows=st.sampled_from([3, 5, 8]),
+    cols=st.sampled_from([2, 4, 7]),
+)
+@settings(max_examples=20, deadline=None)
+def test_interchange_preserves_addresses(rows, cols):
+    a = declare("A", rows, cols)
+    b = declare("B", rows, cols)
+    nest = (
+        nest_builder("t").loop("i", 0, rows).loop("j", 0, cols)
+        .reads(a(I, J)).writes(b(I, J)).build()
+    )
+    swapped = interchange(nest, ["j", "i"])
+    assert addresses(nest) == addresses(swapped)
+
+
+@given(
+    extent=st.sampled_from([8, 16]),
+    factor=st.sampled_from([2, 4, 8]),
+)
+@settings(max_examples=15, deadline=None)
+def test_strip_mine_iteration_count_preserved(extent, factor):
+    a = declare("A", extent)
+    nest = nest_builder("v").loop("i", 0, extent).writes(a(I)).build()
+    mined = strip_mine(nest, "i", factor)
+    assert mined.domain.resolve({}).size == extent

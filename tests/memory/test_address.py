@@ -1,0 +1,73 @@
+"""Address layout bit-fields."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import AddressLayout, is_power_of_two, log2_int
+
+
+def test_power_of_two_predicate():
+    assert is_power_of_two(1)
+    assert is_power_of_two(2048)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(3)
+    assert not is_power_of_two(-4)
+
+
+def test_log2_int():
+    assert log2_int(1) == 0
+    assert log2_int(2048) == 11
+    with pytest.raises(ValueError):
+        log2_int(1000)
+
+
+class TestLayoutFields:
+    layout = AddressLayout(line_bytes=64, page_bytes=2048)
+
+    def test_derived_widths(self):
+        assert self.layout.line_offset_bits == 6
+        assert self.layout.page_offset_bits == 11
+        assert self.layout.lines_per_page == 32
+
+    def test_line_fields(self):
+        addr = 0x12345
+        assert self.layout.line_number(addr) == addr >> 6
+        assert self.layout.line_base(addr) == (addr >> 6) << 6
+        assert self.layout.line_offset(addr) == addr & 63
+
+    def test_page_fields(self):
+        addr = 5 * 2048 + 123
+        assert self.layout.page_number(addr) == 5
+        assert self.layout.page_base(addr) == 5 * 2048
+        assert self.layout.page_offset(addr) == 123
+
+    @given(st.integers(0, 2**40))
+    def test_page_decompose_recompose(self, addr):
+        layout = AddressLayout()
+        recomposed = layout.compose(
+            layout.page_number(addr), layout.page_offset(addr)
+        )
+        assert recomposed == addr
+
+    def test_compose_offset_bounds(self):
+        with pytest.raises(ValueError):
+            self.layout.compose(1, 2048)
+
+
+class TestValidation:
+    def test_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            AddressLayout(line_bytes=48)
+
+    def test_non_power_of_two_page(self):
+        with pytest.raises(ValueError):
+            AddressLayout(page_bytes=3000)
+
+    def test_page_smaller_than_line(self):
+        with pytest.raises(ValueError):
+            AddressLayout(line_bytes=128, page_bytes=64)
+
+    def test_8kb_page_variant(self):
+        layout = AddressLayout(page_bytes=8192)
+        assert layout.page_offset_bits == 13
+        assert layout.lines_per_page == 128

@@ -1,0 +1,83 @@
+"""VA->PA translation and location-bit preservation."""
+
+import pytest
+
+from repro.memory.address import AddressLayout
+from repro.memory.distribution import Granularity, RoundRobinDistribution
+from repro.memory.translation import (
+    IdentityTranslation,
+    OutOfPhysicalMemory,
+    PageTable,
+)
+
+LAYOUT = AddressLayout(line_bytes=64, page_bytes=2048)
+
+
+class TestPreservingTranslation:
+    def test_low_page_bits_preserved(self):
+        table = PageTable(LAYOUT, phys_pages=4096, preserve_location_bits=True,
+                          preserved_bits=4)
+        for vpn in [0, 3, 17, 250, 1023]:
+            vaddr = vpn * 2048 + 77
+            assert table.translation_preserves(vaddr, bits=4)
+
+    def test_mc_id_survives_translation(self):
+        table = PageTable(LAYOUT, phys_pages=4096, preserved_bits=2)
+        dist = RoundRobinDistribution(4, Granularity.PAGE, LAYOUT)
+        for vpn in range(64):
+            vaddr = vpn * 2048
+            assert dist.target(vaddr) == dist.target(table.translate(vaddr))
+
+    def test_page_offset_untouched(self):
+        table = PageTable(LAYOUT, phys_pages=256)
+        vaddr = 13 * 2048 + 1234
+        assert LAYOUT.page_offset(table.translate(vaddr)) == 1234
+
+    def test_translation_stable_across_calls(self):
+        table = PageTable(LAYOUT, phys_pages=256)
+        a = table.translate(5 * 2048)
+        b = table.translate(5 * 2048 + 100)
+        assert LAYOUT.page_number(a) == LAYOUT.page_number(b)
+
+    def test_distinct_vpns_get_distinct_ppns(self):
+        table = PageTable(LAYOUT, phys_pages=1024)
+        ppns = {LAYOUT.page_number(table.translate(v * 2048)) for v in range(200)}
+        assert len(ppns) == 200
+
+    def test_page_fault_counting(self):
+        table = PageTable(LAYOUT, phys_pages=64)
+        table.translate(0)
+        table.translate(100)      # same page
+        table.translate(2048)     # new page
+        assert table.page_faults == 2
+
+    def test_exhaustion_raises(self):
+        table = PageTable(LAYOUT, phys_pages=16, preserved_bits=4)
+        with pytest.raises(OutOfPhysicalMemory):
+            for vpn in range(0, 64, 16):  # all want color 0; only 1 page has it
+                table.translate(vpn * 2048)
+
+
+class TestScrambledTranslation:
+    def test_scrambled_breaks_location_bits(self):
+        table = PageTable(
+            LAYOUT, phys_pages=4096, preserve_location_bits=False
+        )
+        broken = sum(
+            0 if table.translation_preserves(vpn * 2048, bits=2) else 1
+            for vpn in range(64)
+        )
+        # A real allocator's free list scrambles most MC ids -- this is the
+        # situation the paper's OS call exists to prevent.
+        assert broken > 20
+
+    def test_scrambled_still_bijective(self):
+        table = PageTable(LAYOUT, phys_pages=512, preserve_location_bits=False)
+        ppns = {LAYOUT.page_number(table.translate(v * 2048)) for v in range(100)}
+        assert len(ppns) == 100
+
+
+def test_identity_translation():
+    ident = IdentityTranslation(LAYOUT)
+    assert ident.translate(123456) == 123456
+    assert ident.page_faults == 0

@@ -1,0 +1,130 @@
+"""Mesh topology: ids, coordinates, distances, MC placement."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc.topology import MCPlacement, Mesh2D, default_mesh
+
+
+class TestNodeIds:
+    def test_row_major_ids(self):
+        mesh = Mesh2D(6, 6)
+        assert mesh.node_id((0, 0)) == 0
+        assert mesh.node_id((5, 0)) == 5
+        assert mesh.node_id((0, 1)) == 6
+        assert mesh.node_id((5, 5)) == 35
+
+    def test_coord_roundtrip(self):
+        mesh = Mesh2D(6, 6)
+        for node in mesh.nodes():
+            assert mesh.node_id(mesh.coord(node)) == node
+
+    def test_num_nodes(self):
+        assert Mesh2D(6, 6).num_nodes == 36
+        assert Mesh2D(8, 8).num_nodes == 64
+        assert Mesh2D(3, 2).num_nodes == 6
+
+    def test_out_of_range_coord_rejected(self):
+        mesh = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            mesh.node_id((4, 0))
+        with pytest.raises(ValueError):
+            mesh.node_id((0, -1))
+
+    def test_out_of_range_node_rejected(self):
+        mesh = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            mesh.coord(16)
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh2D(0, 6)
+
+
+class TestDistances:
+    def test_manhattan_examples(self):
+        mesh = Mesh2D(6, 6)
+        assert mesh.manhattan((0, 0), (5, 5)) == 10
+        assert mesh.manhattan((2, 3), (2, 3)) == 0
+        assert mesh.manhattan((1, 1), (4, 0)) == 4
+
+    @given(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    )
+    def test_manhattan_symmetric(self, a, b):
+        mesh = Mesh2D(6, 6)
+        assert mesh.manhattan(a, b) == mesh.manhattan(b, a)
+
+    @given(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+        st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    )
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        mesh = Mesh2D(6, 6)
+        assert mesh.manhattan(a, c) <= mesh.manhattan(a, b) + mesh.manhattan(b, c)
+
+
+class TestMemoryControllers:
+    def test_corner_placement(self):
+        mesh = Mesh2D(6, 6, mc_placement=MCPlacement.CORNERS)
+        positions = [mc.position for mc in mesh.mcs]
+        assert positions == [(0, 0), (5, 0), (5, 5), (0, 5)]
+
+    def test_edge_middle_placement(self):
+        mesh = Mesh2D(6, 6, mc_placement=MCPlacement.EDGE_MIDDLES)
+        positions = [mc.position for mc in mesh.mcs]
+        assert (3, 0) in positions and (0, 3) in positions
+        assert all(
+            x in (0, 3, 5) and y in (0, 3, 5) for x, y in positions
+        )
+
+    def test_nearest_mc_corner_nodes(self):
+        mesh = Mesh2D(6, 6)
+        assert mesh.nearest_mc(mesh.node_id((0, 0))) == 0
+        assert mesh.nearest_mc(mesh.node_id((5, 0))) == 1
+        assert mesh.nearest_mc(mesh.node_id((5, 5))) == 2
+        assert mesh.nearest_mc(mesh.node_id((0, 5))) == 3
+
+    def test_nearest_mc_tie_breaks_to_lowest(self):
+        mesh = Mesh2D(6, 6)
+        # Mesh center ties all four corners -> lowest MC id.
+        assert mesh.nearest_mc(mesh.node_id((2, 2))) == 0
+
+    def test_mc_node_matches_position(self):
+        mesh = Mesh2D(6, 6)
+        for mc in mesh.mcs:
+            assert mesh.coord(mesh.mc_node(mc.index)) == mc.position
+
+    def test_only_four_mcs_supported(self):
+        with pytest.raises(ValueError):
+            Mesh2D(6, 6, num_mcs=8)
+
+
+class TestNeighbors:
+    def test_corner_has_two_neighbors(self):
+        mesh = Mesh2D(6, 6)
+        assert len(mesh.neighbors(0)) == 2
+
+    def test_center_has_four_neighbors(self):
+        mesh = Mesh2D(6, 6)
+        center = mesh.node_id((3, 3))
+        assert len(mesh.neighbors(center)) == 4
+
+    def test_neighbors_are_distance_one(self):
+        mesh = Mesh2D(5, 4)
+        for node in mesh.nodes():
+            for nbr in mesh.neighbors(node):
+                assert mesh.node_distance(node, nbr) == 1
+
+    def test_links_count(self):
+        mesh = Mesh2D(6, 6)
+        # Directed links: 2 * (2 * w * h - w - h)
+        assert len(mesh.links()) == 2 * (2 * 36 - 6 - 6)
+
+
+def test_default_mesh_is_paper_configuration():
+    mesh = default_mesh()
+    assert (mesh.width, mesh.height) == (6, 6)
+    assert mesh.mc_placement is MCPlacement.CORNERS

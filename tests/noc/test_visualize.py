@@ -1,0 +1,46 @@
+"""ASCII visualization helpers."""
+
+from repro.noc.topology import Mesh2D
+from repro.noc.visualize import (
+    render_core_loads,
+    render_link_utilization,
+    render_mc_distances,
+    render_node_values,
+)
+
+MESH = Mesh2D(6, 6)
+
+
+class TestNodeGrid:
+    def test_grid_dimensions(self):
+        out = render_node_values(MESH, {0: 1.0})
+        assert len(out.splitlines()) == 6
+
+    def test_region_separators(self):
+        out = render_node_values(
+            MESH, {}, region_w=2, region_h=2
+        )
+        lines = out.splitlines()
+        assert len(lines) == 6 + 2  # two horizontal rules
+        assert any(set(line) == {"-"} for line in lines)
+        assert "|" in lines[0]
+
+    def test_values_appear(self):
+        out = render_node_values(MESH, {0: 42.0}, fmt="{:4.0f}")
+        assert "42" in out
+
+
+def test_core_loads_counts_sets():
+    out = render_core_loads(MESH, {0: 0, 1: 0, 2: 5})
+    assert "2" in out  # core 0 runs two sets
+
+
+def test_mc_distances_zero_at_corner():
+    out = render_mc_distances(MESH, mc=0)
+    assert out.splitlines()[0].strip().startswith("0")
+
+
+def test_link_utilization_ranking():
+    flits = {(0, 1): 100, (1, 2): 5}
+    out = render_link_utilization(MESH, flits, top=1)
+    assert "100" in out and "5" not in out.split("\n", 1)[1]

@@ -1,0 +1,113 @@
+"""System configuration (Table 4, scaled) and its variants."""
+
+import pytest
+
+from repro.cache.snuca import LLCOrganization
+from repro.memory.distribution import Granularity
+from repro.memory.dram import DDR3_1333, DDR4_2400
+from repro.noc.topology import MCPlacement
+from repro.sim.config import (
+    DEFAULT_CONFIG,
+    NetworkModel,
+    SystemConfig,
+    sensitivity_variants,
+)
+
+
+class TestTable4Defaults:
+    def test_mesh_and_regions(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.num_cores == 36
+        assert (cfg.region_w, cfg.region_h) == (2, 2)
+        assert cfg.mc_placement is MCPlacement.CORNERS
+        assert cfg.num_mcs == 4
+
+    def test_cache_geometry_unscaled(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.l1_assoc == 8
+        assert cfg.l1_line_bytes == 32
+        assert cfg.l2_assoc == 16
+        assert cfg.l2_line_bytes == 64
+
+    def test_capacity_ratio_preserved(self):
+        """L2/L1 capacity ratio matches Table 4 (512KB/16KB = 32x)."""
+        cfg = DEFAULT_CONFIG
+        assert cfg.l2_size_bytes // cfg.l1_size_bytes == 8  # scaled variant
+
+    def test_memory_parameters(self):
+        cfg = DEFAULT_CONFIG
+        assert cfg.page_bytes == 2048
+        assert cfg.dram is DDR3_1333
+        assert cfg.mc_buffer_entries == 250
+        assert cfg.router_delay == 3
+        assert cfg.iteration_set_fraction == 0.0025
+        assert cfg.mc_granularity is Granularity.PAGE
+
+    def test_default_is_shared(self):
+        assert DEFAULT_CONFIG.llc_organization is LLCOrganization.SHARED
+
+
+class TestDerivedBuilders:
+    def test_build_mesh(self):
+        mesh = DEFAULT_CONFIG.build_mesh()
+        assert mesh.num_nodes == 36
+
+    def test_build_distribution(self):
+        dist = DEFAULT_CONFIG.build_distribution()
+        assert dist.num_mcs == 4
+        assert dist.num_llc_banks == 36
+
+    def test_cache_configs_buildable(self):
+        DEFAULT_CONFIG.l1_config().build("l1")
+        DEFAULT_CONFIG.l2_config().build("l2")
+
+
+class TestVariants:
+    def test_with_updates_is_pure(self):
+        cfg = DEFAULT_CONFIG.with_updates(mesh_width=8)
+        assert cfg.mesh_width == 8
+        assert DEFAULT_CONFIG.mesh_width == 6
+
+    def test_org_switchers(self):
+        assert (
+            DEFAULT_CONFIG.private_llc().llc_organization
+            is LLCOrganization.PRIVATE
+        )
+        assert (
+            DEFAULT_CONFIG.private_llc().shared_llc().llc_organization
+            is LLCOrganization.SHARED
+        )
+
+    def test_ideal_network(self):
+        assert (
+            DEFAULT_CONFIG.ideal_network().network_model is NetworkModel.IDEAL
+        )
+
+    def test_ddr4(self):
+        assert DEFAULT_CONFIG.with_ddr4().dram is DDR4_2400
+
+    def test_sensitivity_variants_cover_figure9(self):
+        variants = sensitivity_variants(DEFAULT_CONFIG)
+        assert set(variants) == {
+            "Default Parameters",
+            "8x8 Network",
+            "1MB/core LLC",
+            "Page Size = 8KB",
+            "Different MC Placement",
+        }
+        assert variants["8x8 Network"].num_cores == 64
+        assert (
+            variants["1MB/core LLC"].l2_size_bytes
+            == 2 * DEFAULT_CONFIG.l2_size_bytes
+        )
+        assert variants["Page Size = 8KB"].page_bytes == 8192
+        assert (
+            variants["Different MC Placement"].mc_placement
+            is MCPlacement.EDGE_MIDDLES
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(stall_overlap=1.0)
+        with pytest.raises(ValueError):
+            SystemConfig(iteration_set_fraction=0.0)

@@ -1,0 +1,137 @@
+"""Machine model: full access paths, message sequences, stats."""
+
+import pytest
+
+from repro.cache.snuca import LLCOrganization
+from repro.sim.config import DEFAULT_CONFIG, NetworkModel
+from repro.sim.machine import Manycore
+from repro.sim.stats import RunStats
+
+
+def make_machine(**overrides):
+    cfg = DEFAULT_CONFIG.with_updates(
+        network_model=NetworkModel.WORMHOLE, **overrides
+    )
+    return Manycore(cfg)
+
+
+class TestL1Path:
+    def test_l1_hit_costs_l1_latency_and_no_packets(self):
+        m = make_machine()
+        m.access(core=0, vaddr=0, is_write=False, time=0)
+        packets_before = m.network.stats.packets
+        timing = m.access(core=0, vaddr=0, is_write=False, time=100)
+        assert timing.l1_hit
+        assert timing.completion == 100 + m.config.l1_latency
+        assert m.network.stats.packets == packets_before
+
+
+class TestSharedPath:
+    def test_remote_llc_hit_round_trip(self):
+        m = make_machine()
+        addr = 9 * 2048  # page 9 -> bank 9 (page-granular banks)
+        m.access(core=0, vaddr=addr, is_write=False, time=0)  # warm LLC
+        # Evict from core 0's L1 by conflicting lines, then re-access from
+        # another core: must be an LLC hit served remotely.
+        timing = m.access(core=20, vaddr=addr, is_write=False, time=1000)
+        assert not timing.l1_hit
+        assert timing.llc_hit
+        assert timing.home_bank == 9
+        assert timing.mc is None
+        assert timing.network_cycles > 0
+
+    def test_local_bank_hit_has_no_network(self):
+        m = make_machine()
+        addr = 9 * 2048
+        m.access(core=9, vaddr=addr, is_write=False, time=0)
+        timing = m.access(core=9, vaddr=addr + 64, is_write=False, time=500)
+        # Same page -> same local bank; L1 missed (different line).
+        assert timing.llc_hit or timing.mc is not None
+        if timing.llc_hit:
+            assert timing.network_cycles == 0
+
+    def test_llc_miss_reaches_correct_mc(self):
+        m = make_machine()
+        addr = 2 * 2048  # page 2 -> MC2
+        timing = m.access(core=0, vaddr=addr, is_write=False, time=0)
+        assert timing.mc == 2
+        assert not timing.llc_hit
+        assert m.mcs[2].stats.requests == 1
+
+    def test_miss_latency_exceeds_hit_latency(self):
+        m = make_machine()
+        addr = 5 * 2048
+        cold = m.access(core=0, vaddr=addr, is_write=False, time=0)
+        warm = m.access(core=18, vaddr=addr, is_write=False, time=10_000)
+        cold_latency = cold.completion - 0
+        warm_latency = warm.completion - 10_000
+        assert cold_latency > warm_latency
+
+
+class TestPrivatePath:
+    def test_home_bank_is_requester(self):
+        m = make_machine(llc_organization=LLCOrganization.PRIVATE)
+        timing = m.access(core=7, vaddr=9 * 2048, is_write=False, time=0)
+        assert timing.home_bank == 7
+
+    def test_llc_hit_stays_off_network(self):
+        m = make_machine(llc_organization=LLCOrganization.PRIVATE)
+        addr = 0
+        m.access(core=7, vaddr=addr, is_write=False, time=0)
+        # Conflict line out of L1 (L1 is 2KB/8-way/32B -> 8 sets, 256B apart)
+        for k in range(1, 9):
+            m.access(core=7, vaddr=addr + k * 256, is_write=False, time=k)
+        packets_before = m.network.stats.packets
+        timing = m.access(core=7, vaddr=addr, is_write=False, time=1000)
+        if timing.llc_hit and not timing.l1_hit:
+            assert m.network.stats.packets == packets_before
+
+    def test_each_core_has_own_bank(self):
+        m = make_machine(llc_organization=LLCOrganization.PRIVATE)
+        m.access(core=3, vaddr=0, is_write=False, time=0)
+        timing = m.access(core=4, vaddr=0, is_write=False, time=100)
+        # Core 4 never saw this line: it must go to memory or fetch from
+        # the owner -- its own LLC cannot hit.
+        assert not timing.l1_hit
+
+
+class TestCoherenceTraffic:
+    def test_write_invalidates_remote_l1_copies(self):
+        m = make_machine()
+        addr = 0
+        m.access(core=1, vaddr=addr, is_write=False, time=0)
+        m.access(core=2, vaddr=addr, is_write=False, time=10)
+        m.access(core=3, vaddr=addr, is_write=True, time=1000)
+        # Remote copies are gone: core 1 re-reads and misses its L1.
+        timing = m.access(core=1, vaddr=addr, is_write=False, time=2000)
+        assert not timing.l1_hit
+
+
+class TestIdealNetwork:
+    def test_zero_network_latency(self):
+        cfg = DEFAULT_CONFIG.ideal_network()
+        m = Manycore(cfg)
+        timing = m.access(core=0, vaddr=9 * 2048, is_write=False, time=0)
+        assert timing.network_cycles == 0
+
+
+class TestStatsPlumbing:
+    def test_fill_stats(self):
+        m = make_machine()
+        for k in range(20):
+            m.access(core=k % 4, vaddr=k * 2048, is_write=False, time=k * 50)
+        stats = RunStats()
+        m.fill_stats(stats)
+        assert stats.l1_accesses == 20
+        assert stats.llc_accesses == 20
+        assert stats.dram_accesses == 20
+        assert stats.network_packets > 0
+
+    def test_reset(self):
+        m = make_machine()
+        m.access(core=0, vaddr=0, is_write=False, time=0)
+        m.reset()
+        stats = RunStats()
+        m.fill_stats(stats)
+        assert stats.l1_accesses == 0
+        assert stats.network_packets == 0

@@ -1,0 +1,85 @@
+"""Run statistics and comparison arithmetic."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import (
+    Comparison,
+    RunStats,
+    geomean,
+    mean,
+    percent_reduction,
+)
+
+
+class TestRunStats:
+    def test_derived_rates(self):
+        s = RunStats(
+            l1_accesses=100, l1_hits=80,
+            llc_accesses=20, llc_hits=15,
+            network_packets=10, network_total_latency=200,
+            network_total_hops=45,
+        )
+        assert s.l1_hit_rate == 0.8
+        assert s.llc_hit_rate == 0.75
+        assert s.llc_miss_rate == 0.25
+        assert s.avg_network_latency == 20.0
+        assert s.avg_hops == 4.5
+
+    def test_zero_division_guards(self):
+        s = RunStats()
+        assert s.l1_hit_rate == 0.0
+        assert s.avg_network_latency == 0.0
+        assert s.memory_stall_fraction == 0.0
+        assert s.overhead_fraction == 0.0
+
+
+class TestPercentReduction:
+    def test_basic(self):
+        assert percent_reduction(100, 80) == pytest.approx(20.0)
+        assert percent_reduction(100, 120) == pytest.approx(-20.0)
+
+    def test_zero_baseline(self):
+        assert percent_reduction(0, 50) == 0.0
+
+    @given(st.floats(1, 1e6), st.floats(0, 1e6))
+    def test_bounded_above_by_100(self, base, opt):
+        assert percent_reduction(base, opt) <= 100.0 + 1e-9
+
+
+class TestComparison:
+    def test_reductions(self):
+        base = RunStats(
+            execution_cycles=1000,
+            network_packets=10, network_total_latency=300,
+        )
+        opt = RunStats(
+            execution_cycles=900,
+            network_packets=10, network_total_latency=150,
+            overhead_cycles=45,
+        )
+        c = Comparison("x", base, opt)
+        assert c.execution_time_reduction == pytest.approx(10.0)
+        assert c.network_latency_reduction == pytest.approx(50.0)
+        assert c.overhead_percent == pytest.approx(5.0)
+
+
+class TestAggregates:
+    def test_geomean_basic(self):
+        assert geomean([4.0, 16.0]) == pytest.approx(8.0)
+        assert geomean([]) == 0.0
+
+    def test_geomean_floors_nonpositive(self):
+        value = geomean([10.0, -5.0])
+        assert value > 0.0  # does not crash, floors at epsilon
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+    @given(st.lists(st.floats(0.1, 1000), min_size=1, max_size=20))
+    def test_geomean_between_min_and_max(self, values):
+        g = geomean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

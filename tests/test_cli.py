@@ -1,0 +1,53 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "mxm"])
+        assert args.mapping == "default"
+        assert args.llc == "shared"
+        assert args.scale == 1.0
+
+    def test_compare_defaults_to_la(self):
+        args = build_parser().parse_args(["compare", "mxm"])
+        assert args.mapping == "la"
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "mxm" in out and "barnes" in out
+
+    def test_properties(self, capsys):
+        assert main(["properties"]) == 0
+        out = capsys.readouterr().out
+        assert "iteration sets" in out
+
+    def test_run_small(self, capsys):
+        assert main(["run", "mxm", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "execution cycles" in out
+
+    def test_compare_small(self, capsys):
+        assert main(
+            ["compare", "mxm", "--scale", "0.25", "--llc", "private"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "execution time reduction" in out

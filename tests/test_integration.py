@@ -1,0 +1,106 @@
+"""End-to-end integration: the paper's headline claims at smoke scale.
+
+These run the full stack (compiler -> schedule -> simulator) on a couple of
+applications and assert the qualitative shapes the paper reports.  Scales
+are kept small enough for CI; the benchmarks/ targets run the full-size
+versions.
+"""
+
+import pytest
+
+from repro import DEFAULT_CONFIG, build_workload, compare
+from repro.experiments.harness import run_workload
+
+SCALE = 0.6
+
+
+class TestHeadlineShapes:
+    @pytest.mark.parametrize("name", ["mxm", "equake"])
+    def test_la_improves_private_llc(self, name):
+        workload = build_workload(name)
+        comparison, _, _ = compare(
+            workload, DEFAULT_CONFIG.private_llc(), scale=SCALE
+        )
+        assert comparison.network_latency_reduction > 0.0
+        assert comparison.execution_time_reduction > -2.0
+
+    @pytest.mark.parametrize("name", ["mxm", "equake"])
+    def test_la_improves_shared_llc(self, name):
+        workload = build_workload(name)
+        comparison, _, _ = compare(
+            workload, DEFAULT_CONFIG.shared_llc(), scale=SCALE
+        )
+        assert comparison.network_latency_reduction > 0.0
+        assert comparison.execution_time_reduction > -2.0
+
+    def test_ideal_network_bounds_both_mappings(self):
+        workload = build_workload("mxm")
+        real = run_workload(workload, DEFAULT_CONFIG, scale=SCALE)
+        ideal = run_workload(
+            workload, DEFAULT_CONFIG.ideal_network(), scale=SCALE
+        )
+        assert ideal.stats.execution_cycles < real.stats.execution_cycles
+        assert ideal.stats.avg_network_latency == 0.0
+
+    def test_optimized_reduces_average_hops(self):
+        workload = build_workload("mxm")
+        _, base, opt = compare(
+            workload, DEFAULT_CONFIG.private_llc(), scale=SCALE
+        )
+        assert opt.stats.avg_hops < base.stats.avg_hops
+
+    def test_inspector_overhead_is_bounded(self):
+        workload = build_workload("nbf")
+        result = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=SCALE
+        )
+        assert 0.0 < result.stats.overhead_fraction < 0.20
+
+    def test_moved_fraction_in_paper_band(self):
+        """Table 3 reports 6.8-18.5% of sets moved by load balancing."""
+        workload = build_workload("mxm")
+        result = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=SCALE
+        )
+        assert 0.0 <= result.moved_fraction <= 0.65
+
+
+class TestCrossModelConsistency:
+    def test_wormhole_and_analytic_agree_on_direction(self):
+        """Both network models must agree LA helps (private LLC)."""
+        from repro.sim.config import NetworkModel
+
+        workload = build_workload("mxm")
+        results = {}
+        for model in (NetworkModel.ANALYTIC, NetworkModel.WORMHOLE):
+            cfg = DEFAULT_CONFIG.private_llc().with_updates(
+                network_model=model
+            )
+            comparison, _, _ = compare(workload, cfg, scale=0.4)
+            results[model] = comparison.network_latency_reduction
+        assert results[NetworkModel.ANALYTIC] > 0
+        assert results[NetworkModel.WORMHOLE] > 0
+
+    def test_translation_preservation_matters(self):
+        """With a scrambling OS, compiler MC predictions would break --
+        verified at the translation layer (Section 4's OS requirement)."""
+        from repro.memory.address import AddressLayout
+        from repro.memory.distribution import Granularity, RoundRobinDistribution
+        from repro.memory.translation import PageTable
+
+        layout = AddressLayout()
+        dist = RoundRobinDistribution(4, Granularity.PAGE, layout)
+        preserving = PageTable(layout, phys_pages=4096, preserved_bits=2)
+        scrambling = PageTable(
+            layout, phys_pages=4096, preserve_location_bits=False
+        )
+        mismatches_preserving = sum(
+            dist.target(v * 2048) != dist.target(preserving.translate(v * 2048))
+            for v in range(128)
+        )
+        mismatches_scrambling = sum(
+            dist.target(v * 2048) != dist.target(scrambling.translate(v * 2048))
+            for v in range(128)
+        )
+        assert mismatches_preserving == 0
+        assert mismatches_scrambling > 32

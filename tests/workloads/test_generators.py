@@ -1,0 +1,91 @@
+"""Index-array generators: bounds, clustering, reuse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import (
+    banded_columns,
+    bucketed_keys,
+    clustered_indices,
+    permutation_indices,
+    row_pointers,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestClusteredIndices:
+    def test_in_bounds(self):
+        idx = clustered_indices(1000, 200, cluster_radius=10, rng=rng())
+        assert idx.min() >= 0 and idx.max() < 200
+
+    def test_consecutive_slots_are_nearby(self):
+        idx = clustered_indices(
+            2000, 2000, cluster_radius=8, rng=rng(), revisit=0.0
+        )
+        gaps = np.abs(np.diff(idx))
+        # Center drifts 1 per slot; noise is +-8 -> gaps stay small.
+        assert np.percentile(gaps, 90) <= 20
+
+    def test_center_sweeps_full_range(self):
+        idx = clustered_indices(1000, 500, cluster_radius=5, rng=rng())
+        assert idx[:50].mean() < 100
+        assert idx[-50:].mean() > 400
+
+    def test_revisit_creates_duplicates(self):
+        no_revisit = clustered_indices(500, 5000, 4, rng(), revisit=0.0)
+        revisit = clustered_indices(500, 5000, 4, rng(), revisit=0.5)
+        assert len(np.unique(revisit)) < len(np.unique(no_revisit))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clustered_indices(0, 10, 1, rng())
+
+    @given(st.integers(1, 500), st.integers(1, 500))
+    @settings(max_examples=30)
+    def test_always_valid(self, slots, targets):
+        idx = clustered_indices(slots, targets, 7, np.random.default_rng(1))
+        assert len(idx) == slots
+        assert idx.min() >= 0 and idx.max() < targets
+
+
+class TestBandedColumns:
+    def test_shape_and_bounds(self):
+        cols = banded_columns(100, 5, bandwidth=8, cols=100, rng=rng())
+        assert len(cols) == 500
+        assert cols.min() >= 0 and cols.max() < 100
+
+    def test_band_respected(self):
+        rows, nnz = 200, 4
+        cols = banded_columns(rows, nnz, bandwidth=10, cols=rows, rng=rng())
+        for r in range(rows):
+            for k in range(nnz):
+                assert abs(int(cols[r * nnz + k]) - r) <= 10
+
+    def test_row_pointers(self):
+        rows = row_pointers(3, 2)
+        assert list(rows) == [0, 0, 1, 1, 2, 2]
+
+
+class TestBucketedKeys:
+    def test_in_bounds(self):
+        keys = bucketed_keys(1000, 64, 640, rng=rng())
+        assert keys.min() >= 0 and keys.max() < 640
+
+    def test_buckets_progress_with_slots(self):
+        keys = bucketed_keys(1000, 10, 1000, rng=rng())
+        assert keys[:100].mean() < keys[-100:].mean()
+
+
+class TestPermutation:
+    def test_is_a_permutation_when_sizes_match(self):
+        idx = permutation_indices(100, 100, rng=rng())
+        assert sorted(idx) == list(range(100))
+
+    def test_oversized_slots_repeat_targets(self):
+        idx = permutation_indices(250, 100, rng=rng())
+        assert len(idx) == 250
+        assert idx.max() < 100
