@@ -1,0 +1,116 @@
+"""Throughput of the batched fast-path engine vs the scalar reference.
+
+Measures simulated iterations per wall-clock second on an L1-hit-heavy
+regular workload (each core's footprint fits its 2 KB L1, so ~99% of
+accesses take the batched hit path) and asserts the fast engine delivers
+at least 3x the reference throughput.  The measured point is appended to
+``BENCH_engine.json`` at the repository root as a perf trajectory record.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_engine.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.baselines.default import default_schedules, partition_all_nests
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.symbolic import Idx, Param
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.engine import ExecutionEngine, TripPlan
+from repro.sim.machine import Manycore
+from repro.sim.trace import ProgramTrace
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+MIN_SPEEDUP = 3.0
+
+I = Idx("i")
+
+
+def hit_heavy_program(outer=400, inner=64):
+    """Repeatedly sweep a small array: per-core footprints stay L1-resident."""
+    R, M = Param("R"), Param("M")
+    a = declare("A", M, elem_bytes=8)
+    nest = (
+        nest_builder("sweep")
+        .loop("r", 0, R)
+        .loop("i", 0, M)
+        .reads(a(I), a(I))
+        .compute(4)
+        .build()
+    )
+    return Program("hot", (nest,), default_params={"R": outer, "M": inner})
+
+
+def build_workload():
+    instance = hit_heavy_program().instantiate(
+        page_bytes=DEFAULT_CONFIG.page_bytes
+    )
+    sets = partition_all_nests(instance, set_fraction=0.01)
+    trace = ProgramTrace(instance, sets)
+    trace.total_accesses()  # pre-generate all set traces outside the timers
+    schedules = default_schedules(
+        instance, sets, DEFAULT_CONFIG.num_cores
+    )
+    return trace, schedules
+
+
+def time_mode(trace, schedules, mode, repeats=3):
+    """Best-of-N wall time of one full run; returns (seconds, stats)."""
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        machine = Manycore(DEFAULT_CONFIG)
+        engine = ExecutionEngine(machine, trace, mode=mode)
+        t0 = time.perf_counter()
+        stats = engine.run([TripPlan(schedules=schedules)])
+        best = min(best, time.perf_counter() - t0)
+    return best, stats
+
+
+def test_fast_engine_speedup():
+    trace, schedules = build_workload()
+    ref_seconds, ref_stats = time_mode(trace, schedules, "reference")
+    fast_seconds, fast_stats = time_mode(trace, schedules, "fast")
+
+    # Identical simulated behaviour is enforced by the equivalence suite;
+    # a throughput claim is only meaningful if the work really was equal.
+    assert fast_stats.iterations_executed == ref_stats.iterations_executed
+    assert fast_stats.execution_cycles == ref_stats.execution_cycles
+
+    iterations = fast_stats.iterations_executed
+    ref_ips = iterations / ref_seconds
+    fast_ips = iterations / fast_seconds
+    speedup = fast_ips / ref_ips
+
+    record = {
+        "benchmark": "engine_fast_vs_reference",
+        "workload": "hit_heavy_regular(R=400, M=64, elem=8B)",
+        "l1_hit_rate": round(fast_stats.l1_hit_rate, 4),
+        "iterations": iterations,
+        "reference_iterations_per_sec": round(ref_ips, 1),
+        "fast_iterations_per_sec": round(fast_ips, 1),
+        "speedup": round(speedup, 2),
+        "min_speedup_required": MIN_SPEEDUP,
+    }
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(record)
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"\nengine throughput: reference {ref_ips:,.0f} it/s, "
+        f"fast {fast_ips:,.0f} it/s, speedup {speedup:.2f}x "
+        f"(L1 hit rate {fast_stats.l1_hit_rate:.1%})"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"fast engine speedup {speedup:.2f}x below the {MIN_SPEEDUP}x floor "
+        f"(reference {ref_ips:.0f} it/s, fast {fast_ips:.0f} it/s)"
+    )

@@ -22,6 +22,8 @@ from collections import Counter, defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
+import numpy as np
+
 from repro.ir.iterspace import IterationSet
 from repro.ir.loops import ProgramInstance
 from repro.memory.address import AddressLayout
@@ -45,6 +47,19 @@ class PageRemapTranslation:
         vpn = self.layout.page_number(vaddr)
         ppn = self.remap.get(vpn, vpn)
         return self.layout.compose(ppn, self.layout.page_offset(vaddr))
+
+    def translate_batch(self, vaddrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate` (the mapping is stateless)."""
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        bits = self.layout.page_offset_bits
+        vpns = vaddrs >> bits
+        uniq = np.unique(vpns)
+        ppn_of_uniq = np.array(
+            [self.remap.get(int(vpn), int(vpn)) for vpn in uniq],
+            dtype=np.int64,
+        )
+        ppns = ppn_of_uniq[np.searchsorted(uniq, vpns)]
+        return (ppns << bits) | (vaddrs & (self.layout.page_bytes - 1))
 
     @property
     def page_faults(self) -> int:

@@ -13,6 +13,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+import numpy as np
+
 from repro.memory.address import is_power_of_two, log2_int
 
 
@@ -132,6 +134,10 @@ class Cache:
         lines[tag] = LineState()
         return victim_addr
 
+    def bulk_cursor(self, addrs: np.ndarray, writes: np.ndarray) -> "BulkAccessCursor":
+        """Build a :class:`BulkAccessCursor` over a sequential access stream."""
+        return BulkAccessCursor(self, addrs, writes)
+
     def invalidate(self, addr: int) -> bool:
         """Drop a line if present; returns True if it was there."""
         idx, tag = self._index_tag(addr)
@@ -147,3 +153,92 @@ class Cache:
     def reset(self) -> None:
         self._sets.clear()
         self.stats = CacheStats()
+
+
+class BulkAccessCursor:
+    """Applies the hit portions of a sequential access stream in bulk.
+
+    The stream is run-length encoded over cache lines once (vectorized);
+    :meth:`consume_hits` then walks whole same-line runs with a single
+    tag/set probe per run instead of one :meth:`Cache.access` call per
+    reference.  The resulting cache state -- stats, LRU recency, dirty
+    bits -- is exactly what issuing the same accesses one by one would
+    leave behind:
+
+    * consecutive same-line hits collapse to one ``move_to_end`` (repeated
+      moves of the same line are idempotent on the final order);
+    * runs are replayed in stream order, so lines end up MRU-ordered by
+      their last access, as with a scalar walk;
+    * a run's line gets its dirty bit if any access of the run writes.
+
+    The cursor stops *before* the first access whose line is not resident:
+    that access is a guaranteed miss (hits never change residency) and must
+    be replayed through the owner's scalar path, after which
+    :meth:`advance_miss` re-synchronizes the cursor.  The remainder of a
+    miss's run is consumed by the next :meth:`consume_hits` -- the line was
+    just filled, so probing it again simply succeeds.
+    """
+
+    __slots__ = (
+        "_cache", "_run_tags", "_run_ends", "_run_dirty", "_run_idx",
+        "_num_runs", "pos",
+    )
+
+    def __init__(self, cache: Cache, addrs: np.ndarray, writes: np.ndarray):
+        self._cache = cache
+        n = len(addrs)
+        self._run_idx = 0
+        self.pos = 0
+        if n == 0:
+            self._run_tags = []
+            self._run_ends = []
+            self._run_dirty = None
+            self._num_runs = 0
+            return
+        lines = np.asarray(addrs) >> cache._line_bits
+        starts = np.flatnonzero(lines[1:] != lines[:-1]) + 1
+        starts = np.concatenate(([0], starts))
+        self._run_tags = lines[starts].tolist()
+        self._run_ends = np.append(starts[1:], n).tolist()
+        if writes.any():
+            self._run_dirty = np.logical_or.reduceat(writes, starts).tolist()
+        else:
+            self._run_dirty = None
+        self._num_runs = len(self._run_tags)
+
+    def consume_hits(self) -> int:
+        """Apply hits from the cursor up to the next L1 miss (or the end).
+
+        Returns the number of accesses consumed; ``pos`` advances past
+        them.  A return of 0 with ``pos < len(stream)`` means the access
+        at ``pos`` misses.
+        """
+        cache = self._cache
+        sets = cache._sets
+        mask = cache._set_mask
+        tags = self._run_tags
+        ends = self._run_ends
+        dirty = self._run_dirty
+        start_pos = self.pos
+        i = self._run_idx
+        while i < self._num_runs:
+            tag = tags[i]
+            lineset = sets.get(tag & mask)
+            if lineset is None or tag not in lineset:
+                break
+            lineset.move_to_end(tag)
+            if dirty is not None and dirty[i]:
+                lineset[tag].dirty = True
+            self.pos = ends[i]
+            i += 1
+        self._run_idx = i
+        hits = self.pos - start_pos
+        cache.stats.accesses += hits
+        cache.stats.hits += hits
+        return hits
+
+    def advance_miss(self) -> None:
+        """Step over one access that was replayed through the scalar path."""
+        self.pos += 1
+        if self.pos >= self._run_ends[self._run_idx]:
+            self._run_idx += 1

@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.memory.distribution import DataDistribution
 
-from .cache import AccessResult, Cache
+from .cache import AccessResult, BulkAccessCursor, Cache
 from .coherence import CoherenceActions, Directory
 from .snuca import LLCOrganization, SnucaMapper
 
@@ -131,6 +133,21 @@ class CacheHierarchy:
             llc_victim=llc_victim,
             coherence=coherence,
         )
+
+    def l1_bulk_cursor(
+        self, core: int, paddrs: np.ndarray, writes: np.ndarray
+    ) -> BulkAccessCursor:
+        """Batched L1-hit pre-filter over ``core``'s next access stream.
+
+        An L1 hit touches nothing below the L1 (no home bank, no directory
+        traffic), so the batched filter only needs the core's own L1: each
+        access the cursor consumes is exactly one :meth:`access` would have
+        answered with ``AccessOutcome(l1_hit=True)``, with its stats/LRU/
+        dirty effects applied.  The access the cursor stops at is a
+        guaranteed L1 miss and must be replayed through scalar
+        :meth:`access` (then ``advance_miss``-ed past).
+        """
+        return self._l1s[core].bulk_cursor(paddrs, writes)
 
     def reset(self) -> None:
         for cache in self._l1s:

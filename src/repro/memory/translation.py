@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+import numpy as np
+
 from .address import AddressLayout
 
 
@@ -70,6 +72,32 @@ class PageTable:
         if ppn is None:
             ppn = self._allocate(vpn)
         return self.layout.compose(ppn, self.layout.page_offset(vaddr))
+
+    def translate_batch(self, vaddrs: np.ndarray) -> np.ndarray:
+        """Translate a stream of virtual addresses at once.
+
+        Equivalent to calling :meth:`translate` element by element in
+        stream order: unseen pages fault in first-touch order, so the
+        VPN->PPN assignment (which depends on allocation order in both the
+        preserving and the scrambled mode) is identical to the scalar
+        walk.  The per-element mapping itself is vectorized.
+        """
+        vaddrs = np.asarray(vaddrs, dtype=np.int64)
+        bits = self.layout.page_offset_bits
+        vpns = vaddrs >> bits
+        uniq, first = np.unique(vpns, return_index=True)
+        missing = [
+            (int(first_at), int(vpn))
+            for vpn, first_at in zip(uniq.tolist(), first.tolist())
+            if vpn not in self._vpn_to_ppn
+        ]
+        for _, vpn in sorted(missing):
+            self._allocate(vpn)
+        ppn_of_uniq = np.array(
+            [self._vpn_to_ppn[int(vpn)] for vpn in uniq], dtype=np.int64
+        )
+        ppns = ppn_of_uniq[np.searchsorted(uniq, vpns)]
+        return (ppns << bits) | (vaddrs & (self.layout.page_bytes - 1))
 
     def translation_preserves(self, vaddr: int, bits: int) -> bool:
         """True if the low ``bits`` of the page number survive translation."""
@@ -130,6 +158,9 @@ class IdentityTranslation:
 
     def translate(self, vaddr: int) -> int:
         return vaddr
+
+    def translate_batch(self, vaddrs: np.ndarray) -> np.ndarray:
+        return np.asarray(vaddrs, dtype=np.int64)
 
     @property
     def page_faults(self) -> int:

@@ -89,11 +89,19 @@ class SystemConfig:
     # Execution model: fraction of a memory stall hidden by MLP/OoO overlap.
     stall_overlap: float = 0.7
 
+    # Engine implementation: "fast" batches L1-hit detection through numpy
+    # (behaviour-identical to the scalar model, enforced by the differential
+    # suite in tests/sim/test_engine_equivalence.py); "reference" forces the
+    # original per-access scalar walk.
+    engine_mode: str = "fast"
+
     def __post_init__(self) -> None:
         if not 0.0 <= self.stall_overlap < 1.0:
             raise ValueError("stall_overlap must be in [0, 1)")
         if not 0.0 < self.iteration_set_fraction <= 1.0:
             raise ValueError("iteration_set_fraction must be in (0, 1]")
+        if self.engine_mode not in ("fast", "reference"):
+            raise ValueError("engine_mode must be 'fast' or 'reference'")
 
     # ------------------------------------------------------------------
     @property
@@ -147,6 +155,14 @@ class SystemConfig:
 
     def with_ddr4(self) -> "SystemConfig":
         return self.with_updates(dram=DDR4_2400)
+
+    def reference_engine(self) -> "SystemConfig":
+        """Copy forcing the scalar per-access execution engine."""
+        return self.with_updates(engine_mode="reference")
+
+    def fast_engine(self) -> "SystemConfig":
+        """Copy selecting the batched fast-path execution engine."""
+        return self.with_updates(engine_mode="fast")
 
 
 DEFAULT_CONFIG = SystemConfig()

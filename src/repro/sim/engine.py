@@ -59,7 +59,26 @@ class TripPlan:
 
 
 class ExecutionEngine:
-    """Drives one program instance over one machine."""
+    """Drives one program instance over one machine.
+
+    ``mode`` selects the execution implementation:
+
+    * ``"fast"`` (default) -- batched fast path: per chunk, addresses are
+      translated in bulk and the L1-hit majority is pre-filtered through
+      :meth:`Manycore.access_batch` without entering Python per reference;
+      only L1 misses (the accesses that generate NoC/MC traffic) take the
+      scalar :meth:`Manycore.access` walk.  Behaviour-identical to the
+      reference path -- same ``RunStats``, same observation tables, same
+      packet injection times -- which ``tests/sim/test_engine_equivalence.py``
+      enforces across the config matrix.
+    * ``"reference"`` -- the original one-``access``-call-per-reference
+      scalar model.
+
+    When unspecified, the mode follows ``machine.config.engine_mode``.  A
+    machine with an attached per-access :attr:`Manycore.observer` is always
+    driven through the reference path (the bulk path produces no per-access
+    timings to report).
+    """
 
     def __init__(
         self,
@@ -67,13 +86,19 @@ class ExecutionEngine:
         trace: ProgramTrace,
         chunk_iterations: int = 16,
         barrier_cost: int = 100,
+        mode: Optional[str] = None,
     ):
         if chunk_iterations < 1:
             raise ValueError("chunk size must be positive")
+        if mode is None:
+            mode = getattr(machine.config, "engine_mode", "fast")
+        if mode not in ("fast", "reference"):
+            raise ValueError("mode must be 'fast' or 'reference'")
         self.machine = machine
         self.trace = trace
         self.chunk_iterations = chunk_iterations
         self.barrier_cost = barrier_cost
+        self.mode = mode
         self.observations: Dict[str, Dict[Tuple[int, int], ObservedSet]] = {}
 
     # ------------------------------------------------------------------
@@ -129,6 +154,12 @@ class ExecutionEngine:
         overlap = 1.0 - cfg.stall_overlap
         iteration_sets = self.trace.iteration_sets[nest_index]
         sets_by_id = {s.set_id: s for s in iteration_sets}
+        # The bulk path cannot feed a per-access observer; fall back.
+        run_chunk = (
+            self._run_chunk_fast
+            if self.mode == "fast" and self.machine.observer is None
+            else self._run_chunk_reference
+        )
 
         # Per-core queue of set traces, in set-id order.
         queues: Dict[int, List[SetTrace]] = {c: [] for c in range(num_cores)}
@@ -146,44 +177,21 @@ class ExecutionEngine:
                 cursors[core] = (0, 0)
                 heapq.heappush(heap, (start, core))
 
-        machine_access = self.machine.access
         chunk = self.chunk_iterations
         while heap:
             t, core = heapq.heappop(heap)
             qidx, k = cursors[core]
             trace = queues[core][qidx]
-            addresses = trace.addresses
-            writes = trace.writes
-            n_refs = trace.refs_per_iteration
             limit = min(trace.iterations, k + chunk)
             observed = None
             if observe_label is not None:
                 observed = self._observed_entry(
                     observe_label, nest_index, trace.set_id
                 )
-            while k < limit:
-                t += compute
-                row = addresses[k]
-                for r in range(n_refs):
-                    timing = machine_access(
-                        core, int(row[r]), bool(writes[r]), t, trace.set_id
-                    )
-                    stall = timing.completion - t
-                    if timing.l1_hit:
-                        t += stall
-                    else:
-                        charged = int(stall * overlap)
-                        t += charged
-                        stats.memory_stall_cycles += charged
-                        if observed is not None:
-                            observed.llc_accesses += 1
-                            if timing.mc is not None:
-                                observed.miss_mc[timing.mc] += 1
-                            else:
-                                observed.llc_hits += 1
-                                observed.hit_bank[timing.home_bank] += 1
-                stats.iterations_executed += 1
-                k += 1
+            t = run_chunk(
+                core, trace, k, limit, t, compute, overlap, stats, observed
+            )
+            k = limit
             if k >= trace.iterations:
                 qidx += 1
                 k = 0
@@ -193,6 +201,117 @@ class ExecutionEngine:
             else:
                 finish[core] = t
         return finish
+
+    # ------------------------------------------------------------------
+    def _run_chunk_reference(
+        self,
+        core: int,
+        trace: SetTrace,
+        k: int,
+        limit: int,
+        t: int,
+        compute: int,
+        overlap: float,
+        stats: RunStats,
+        observed: Optional[ObservedSet],
+    ) -> int:
+        """Scalar reference model: one machine access per reference."""
+        machine_access = self.machine.access
+        addresses = trace.addresses
+        writes = trace.writes
+        n_refs = trace.refs_per_iteration
+        while k < limit:
+            t += compute
+            row = addresses[k]
+            for r in range(n_refs):
+                timing = machine_access(
+                    core, int(row[r]), bool(writes[r]), t, trace.set_id
+                )
+                stall = timing.completion - t
+                if timing.l1_hit:
+                    t += stall
+                else:
+                    charged = int(stall * overlap)
+                    t += charged
+                    stats.memory_stall_cycles += charged
+                    if observed is not None:
+                        observed.llc_accesses += 1
+                        if timing.mc is not None:
+                            observed.miss_mc[timing.mc] += 1
+                        else:
+                            observed.llc_hits += 1
+                            observed.hit_bank[timing.home_bank] += 1
+            stats.iterations_executed += 1
+            k += 1
+        return t
+
+    def _run_chunk_fast(
+        self,
+        core: int,
+        trace: SetTrace,
+        k: int,
+        limit: int,
+        t: int,
+        compute: int,
+        overlap: float,
+        stats: RunStats,
+        observed: Optional[ObservedSet],
+    ) -> int:
+        """Batched fast path: bulk L1-hit runs, scalar misses.
+
+        Time bookkeeping is closed-form over each hit run: ``compute`` is
+        charged once per iteration boundary crossed and ``l1_latency`` once
+        per hit, which is exactly what the reference loop accumulates for
+        the same accesses.  Misses are replayed through the scalar machine
+        walk at the very cycle the reference model would issue them, so
+        network contention, DRAM timing and observation accounting are
+        bit-identical.
+        """
+        machine = self.machine
+        machine_access = machine.access
+        l1_latency = machine.config.l1_latency
+        n_refs = trace.refs_per_iteration
+        lo = k * n_refs
+        hi = limit * n_refs
+        vaddrs = trace.flat_addresses[lo:hi]
+        writes = trace.flat_writes[lo:hi]
+        cursor = machine.access_batch(core, vaddrs, writes)
+        total = hi - lo
+        pos = 0
+        while pos < total:
+            hits = cursor.consume_hits()
+            if hits:
+                end = pos + hits
+                # Iteration boundaries crossed = indices in [pos, end) that
+                # start an iteration (flat index divisible by n_refs).
+                starts = (end - 1) // n_refs - (pos - 1) // n_refs
+                t += starts * compute + hits * l1_latency
+                pos = end
+                if pos >= total:
+                    break
+            if pos % n_refs == 0:
+                t += compute
+            timing = machine_access(
+                core, int(vaddrs[pos]), bool(writes[pos]), t, trace.set_id
+            )
+            stall = timing.completion - t
+            if timing.l1_hit:  # pragma: no cover - access_batch guarantees miss
+                t += stall
+            else:
+                charged = int(stall * overlap)
+                t += charged
+                stats.memory_stall_cycles += charged
+                if observed is not None:
+                    observed.llc_accesses += 1
+                    if timing.mc is not None:
+                        observed.miss_mc[timing.mc] += 1
+                    else:
+                        observed.llc_hits += 1
+                        observed.hit_bank[timing.home_bank] += 1
+            cursor.advance_miss()
+            pos += 1
+        stats.iterations_executed += limit - k
+        return t
 
     def _observed_entry(
         self, label: str, nest_index: int, set_id: int

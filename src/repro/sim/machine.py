@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from repro.cache.hierarchy import AccessOutcome, CacheHierarchy
 from repro.cache.snuca import LLCOrganization, SnucaMapper
 from repro.memory.controller import MemoryController
@@ -128,6 +130,59 @@ class Manycore:
         timing = self._miss_path(core, paddr, time, outcome)
         self._observe(tag, vaddr, is_write, timing)
         return timing
+
+    # ------------------------------------------------------------------
+    def translate_batch(self, vaddrs: np.ndarray) -> np.ndarray:
+        """Translate a stream of virtual addresses in stream order.
+
+        Uses the translation object's vectorized ``translate_batch`` when it
+        has one; otherwise falls back to a scalar walk.  Either way the
+        page-allocation side effects (first-touch faults) happen in exactly
+        the order a scalar access loop would trigger them.
+        """
+        batch = getattr(self.translation, "translate_batch", None)
+        if batch is not None:
+            return batch(vaddrs)
+        translate = self.translation.translate
+        return np.fromiter(
+            (translate(int(v)) for v in vaddrs),
+            dtype=np.int64,
+            count=len(vaddrs),
+        )
+
+    def access_batch(
+        self,
+        core: int,
+        vaddrs: np.ndarray,
+        writes: np.ndarray,
+        paddrs: Optional[np.ndarray] = None,
+    ):
+        """Open a batched fast path over ``core``'s next access stream.
+
+        ``vaddrs[i]``/``writes[i]`` describe the ``i``-th access ``core``
+        will issue.  Addresses are translated in bulk and the stream's
+        L1-hit majority is consumed through the returned
+        :class:`~repro.cache.cache.BulkAccessCursor` without entering
+        Python per reference; each consumed access costs ``l1_latency``
+        and generates no NoC/MC traffic, exactly like the scalar
+        :meth:`access` hit path.  Accesses the cursor stops at are
+        guaranteed L1 misses and must be replayed through scalar
+        :meth:`access` (which charges their network/DRAM walk), then
+        stepped over with ``advance_miss``.
+
+        Pass ``paddrs`` when the stream was already translated (e.g. once
+        per chunk via :meth:`translate_batch`) to avoid re-translating.
+        Not valid while an :attr:`observer` is attached: the bulk path
+        does not produce per-access timings to report.
+        """
+        if self.observer is not None:
+            raise RuntimeError(
+                "access_batch cannot honor a per-access observer; "
+                "use scalar access() while observing"
+            )
+        if paddrs is None:
+            paddrs = self.translate_batch(vaddrs)
+        return self.hierarchy.l1_bulk_cursor(core, paddrs, writes)
 
     def _miss_path(
         self, core: int, paddr: int, time: int, outcome: AccessOutcome

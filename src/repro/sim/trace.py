@@ -13,6 +13,7 @@ over that instance.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -116,6 +117,16 @@ class SetTrace:
     @property
     def refs_per_iteration(self) -> int:
         return self.addresses.shape[1]
+
+    @cached_property
+    def flat_addresses(self) -> np.ndarray:
+        """Row-major flattening of ``addresses`` (a view; issue order)."""
+        return np.ascontiguousarray(self.addresses).reshape(-1)
+
+    @cached_property
+    def flat_writes(self) -> np.ndarray:
+        """``writes`` tiled to match :attr:`flat_addresses` element-wise."""
+        return np.tile(self.writes, self.iterations)
 
 
 class ProgramTrace:

@@ -1,5 +1,6 @@
 """Set-associative LRU cache."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -140,3 +141,134 @@ class TestProperties:
             c.access(addr)
             result, _ = c.access(addr)
             assert result is AccessResult.HIT
+
+
+# ---------------------------------------------------------------------------
+# BulkAccessCursor: the batched L1-hit fast path must leave the cache in
+# exactly the state a scalar access-by-access walk would.
+# ---------------------------------------------------------------------------
+
+def drive_bulk(cache, addrs, writes):
+    """Run a stream through the cursor, replaying misses scalar-style."""
+    addrs = np.asarray(addrs, dtype=np.int64)
+    writes = np.asarray(writes, dtype=bool)
+    cursor = cache.bulk_cursor(addrs, writes)
+    n = len(addrs)
+    misses = []
+    while cursor.pos < n:
+        cursor.consume_hits()
+        if cursor.pos >= n:
+            break
+        misses.append(cursor.pos)
+        cache.access(int(addrs[cursor.pos]), is_write=bool(writes[cursor.pos]))
+        cursor.advance_miss()
+    return misses
+
+
+def full_state(cache):
+    """(tag -> dirty) per set, in LRU order -- the complete observable state."""
+    return {
+        idx: [(tag, state.dirty) for tag, state in lines.items()]
+        for idx, lines in cache._sets.items()
+        if lines
+    }
+
+
+def stats_tuple(cache):
+    s = cache.stats
+    return (s.accesses, s.hits, s.evictions, s.dirty_evictions)
+
+
+class TestBulkCursor:
+    def test_empty_stream(self):
+        c = make_cache()
+        cursor = c.bulk_cursor(np.array([], dtype=np.int64), np.array([], dtype=bool))
+        assert cursor.consume_hits() == 0
+        assert c.stats.accesses == 0
+
+    def test_cold_stream_stops_at_every_line(self):
+        c = make_cache()
+        addrs = [0, 64, 128]
+        misses = drive_bulk(c, addrs, [False] * 3)
+        assert misses == [0, 1, 2]
+        assert c.stats.misses == 3
+
+    def test_warm_stream_consumed_without_stopping(self):
+        c = make_cache(size=2048, assoc=4, line=64)
+        addrs = [0, 64, 0, 64, 0]
+        drive_bulk(c, addrs, [False] * 5)
+        c2 = make_cache(size=2048, assoc=4, line=64)
+        cursor = c2.bulk_cursor(
+            np.array(addrs, dtype=np.int64), np.zeros(5, dtype=bool)
+        )
+        c2.access(0)
+        cursor.advance_miss()
+        c2.access(64)
+        # everything after the two cold misses is resident: one bulk call.
+        cursor.consume_hits()  # pos was 1, access at 1 missed -> replayed above
+        assert cursor.pos >= 1
+
+    def test_run_write_sets_dirty(self):
+        c = make_cache()
+        # Same line accessed read, write, read: one run, dirty must stick.
+        drive_bulk(c, [0, 8, 16], [False, True, False])
+        state = full_state(c)
+        (idx, entries), = state.items()
+        assert entries[0][1] is True
+
+    @given(
+        st.lists(st.integers(0, 2047), min_size=1, max_size=250),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_differential_vs_scalar_walk(self, addrs, data):
+        writes = data.draw(
+            st.lists(
+                st.booleans(), min_size=len(addrs), max_size=len(addrs)
+            )
+        )
+        scalar = make_cache(size=512, assoc=2, line=32)
+        for addr, w in zip(addrs, writes):
+            scalar.access(addr, is_write=w)
+
+        bulk = make_cache(size=512, assoc=2, line=32)
+        misses = drive_bulk(bulk, addrs, writes)
+
+        assert stats_tuple(bulk) == stats_tuple(scalar)
+        assert full_state(bulk) == full_state(scalar)
+        # Every stream position the cursor stopped at truly missed.
+        assert len(misses) == scalar.stats.misses
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=25)
+    def test_differential_on_clustered_streams(self, seed):
+        """Streams with long same-line runs (the fast path's sweet spot)."""
+        rng = np.random.default_rng(seed)
+        base = rng.integers(0, 64, size=40)
+        addrs = np.repeat(base * 32, rng.integers(1, 12, size=40)).astype(np.int64)
+        writes = rng.random(len(addrs)) < 0.3
+
+        scalar = make_cache(size=1024, assoc=4, line=32)
+        for addr, w in zip(addrs.tolist(), writes.tolist()):
+            scalar.access(addr, is_write=w)
+        bulk = make_cache(size=1024, assoc=4, line=32)
+        drive_bulk(bulk, addrs, writes)
+
+        assert stats_tuple(bulk) == stats_tuple(scalar)
+        assert full_state(bulk) == full_state(scalar)
+
+    def test_interleaved_invalidation_is_safe(self):
+        """A line invalidated mid-stream is re-detected as a miss."""
+        c = make_cache(size=2048, assoc=4, line=64)
+        addrs = np.array([0, 0, 0, 0], dtype=np.int64)
+        writes = np.zeros(4, dtype=bool)
+        cursor = c.bulk_cursor(addrs, writes)
+        assert cursor.consume_hits() == 0  # cold
+        c.access(0)
+        cursor.advance_miss()
+        # The rest of the run is resident now: consumed in one call.
+        assert cursor.consume_hits() == 3
+        # An invalidation between chunks makes the next cursor stop cold.
+        c.invalidate(0)
+        cursor2 = c.bulk_cursor(addrs, writes)
+        assert cursor2.consume_hits() == 0  # not resident -> guaranteed miss

@@ -1,0 +1,323 @@
+"""Differential equivalence of the batched fast path vs the reference engine.
+
+The fast engine (``engine_mode="fast"``) pre-filters L1 hits in bulk and
+only walks L1 misses through the scalar machine model.  It is required to
+be *behaviour-identical* to the scalar reference engine: field-identical
+:class:`RunStats` and identical observation tables, on every configuration.
+This suite enforces that over a seeded matrix of
+
+    {private, shared} LLC x {wormhole, analytic, ideal} network
+                          x {regular, irregular} workload
+
+plus multi-trip/observed/overhead runs, page-table translation (preserving
+and scrambled), and the observer fallback rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.default import default_schedules, partition_all_nests
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.refs import gather, scatter
+from repro.ir.symbolic import Idx, Param
+from repro.memory.translation import PageTable
+from repro.sim.config import DEFAULT_CONFIG, NetworkModel
+from repro.sim.engine import ExecutionEngine, TripPlan
+from repro.sim.machine import Manycore
+from repro.sim.trace import ProgramTrace
+
+I = Idx("i")
+N = Param("N")
+
+
+# ---------------------------------------------------------------------------
+# Workloads.  Small enough to run the full matrix quickly, large enough that
+# per-core footprints overflow the (2 KB) L1s: the runs mix cold misses,
+# capacity misses, L1 hit runs, dirty evictions and (via the offset read /
+# the scatter) cross-core coherence traffic.
+# ---------------------------------------------------------------------------
+
+def regular_program(n=720):
+    a = declare("A", N + 1, elem_bytes=128)
+    b = declare("B", N, elem_bytes=128)
+    first = (
+        nest_builder("first")
+        .loop("i", 0, N)
+        .reads(a(I))
+        .writes(b(I))
+        .compute(5)
+        .build()
+    )
+    # The offset read makes neighbouring iteration sets (on different
+    # cores) share lines that this nest also writes -> invalidations.
+    second = (
+        nest_builder("second")
+        .loop("i", 0, N)
+        .reads(b(I), a(I + 1))
+        .writes(a(I))
+        .compute(5)
+        .build()
+    )
+    return Program("regular", (first, second), default_params={"N": n})
+
+
+def irregular_program(p=2400, a=1024):
+    from repro.workloads.base import clustered_indices
+
+    P, A = Param("P"), Param("A")
+    x = declare("X", A, elem_bytes=64)
+    y = declare("Y", A, elem_bytes=64)
+    ind = declare("IND", P, elem_bytes=8)
+
+    nest = (
+        nest_builder("walk")
+        .loop("i", 0, P)
+        .reads(ind(I))
+        .accesses(gather(x, ind, I), scatter(y, ind, I))
+        .compute(5)
+        .build()
+    )
+
+    def build_ind(params, rng):
+        return clustered_indices(
+            params["P"], params["A"], 12, rng, revisit=0.35
+        )
+
+    return Program(
+        "irregular",
+        (nest,),
+        default_params={"P": p, "A": a},
+        index_array_builders={"IND": build_ind},
+    )
+
+
+WORKLOADS = {
+    "regular": regular_program,
+    "irregular": irregular_program,
+}
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+
+def run_mode(
+    config,
+    program,
+    mode,
+    trips=1,
+    observe_label="obs",
+    overhead_cycles=0,
+    translation_factory=None,
+    chunk_iterations=16,
+):
+    """One complete run on a fresh machine; returns (stats, observations)."""
+    inst = program.instantiate(page_bytes=config.page_bytes)
+    sets = partition_all_nests(inst, set_fraction=0.02)
+    translation = translation_factory(config) if translation_factory else None
+    machine = Manycore(config, translation=translation)
+    trace = ProgramTrace(inst, sets)
+    engine = ExecutionEngine(
+        machine, trace, chunk_iterations=chunk_iterations, mode=mode
+    )
+    schedules = default_schedules(inst, sets, machine.mesh.num_nodes)
+    plan = TripPlan(
+        schedules=schedules,
+        observe_label=observe_label,
+        overhead_cycles=overhead_cycles,
+    )
+    stats = engine.run([plan] * trips)
+    return stats, engine.observations
+
+
+def assert_equivalent(fast, reference):
+    """Field-identical RunStats and identical observation tables."""
+    fast_stats, fast_obs = fast
+    ref_stats, ref_obs = reference
+    assert dataclasses.asdict(fast_stats) == dataclasses.asdict(ref_stats)
+    assert set(fast_obs) == set(ref_obs)
+    for label in ref_obs:
+        assert set(fast_obs[label]) == set(ref_obs[label])
+        for key, ref_entry in ref_obs[label].items():
+            fast_entry = fast_obs[label][key]
+            assert fast_entry.llc_accesses == ref_entry.llc_accesses, key
+            assert fast_entry.llc_hits == ref_entry.llc_hits, key
+            assert np.array_equal(fast_entry.miss_mc, ref_entry.miss_mc), key
+            assert np.array_equal(
+                fast_entry.hit_bank, ref_entry.hit_bank
+            ), key
+
+
+def run_pair(config, program, **kwargs):
+    fast = run_mode(config, program, "fast", **kwargs)
+    reference = run_mode(config, program, "reference", **kwargs)
+    assert_equivalent(fast, reference)
+    return fast, reference
+
+
+# ---------------------------------------------------------------------------
+# The centerpiece matrix
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+@pytest.mark.parametrize(
+    "network",
+    [NetworkModel.WORMHOLE, NetworkModel.ANALYTIC, NetworkModel.IDEAL],
+    ids=lambda m: m.value,
+)
+@pytest.mark.parametrize("llc", ["private", "shared"])
+class TestEquivalenceMatrix:
+    def test_stats_and_observations_identical(self, llc, network, workload):
+        config = DEFAULT_CONFIG.with_updates(network_model=network)
+        config = config.private_llc() if llc == "private" else config.shared_llc()
+        program = WORKLOADS[workload]()
+        (fast_stats, _), _ = run_pair(config, program)
+        # The runs must be non-trivial for the comparison to mean anything.
+        assert fast_stats.iterations_executed > 0
+        assert fast_stats.l1_accesses > fast_stats.l1_hits > 0
+        assert fast_stats.llc_accesses > 0
+
+
+# ---------------------------------------------------------------------------
+# Trips, overheads, chunk boundaries
+# ---------------------------------------------------------------------------
+
+class TestTripStructure:
+    def test_multi_trip_with_overhead(self):
+        """Inspector/executor shape: repeated trips accumulate identically."""
+        (fast_stats, fast_obs), _ = run_pair(
+            DEFAULT_CONFIG,
+            regular_program(432),
+            trips=3,
+            overhead_cycles=2500,
+        )
+        assert fast_stats.overhead_cycles == 3 * 2500
+        assert fast_obs["obs"]  # later trips re-observe into the same label
+
+    def test_unaligned_chunk_size(self):
+        """Chunks that do not divide set sizes still match exactly."""
+        run_pair(
+            DEFAULT_CONFIG, regular_program(430), chunk_iterations=7
+        )
+
+    def test_chunk_of_one_iteration(self):
+        run_pair(
+            DEFAULT_CONFIG, regular_program(216), chunk_iterations=1
+        )
+
+
+# ---------------------------------------------------------------------------
+# Translation equivalence (PageTable side effects in batch vs scalar order)
+# ---------------------------------------------------------------------------
+
+class TestTranslationEquivalence:
+    @pytest.mark.parametrize("preserve", [True, False], ids=["preserving", "scrambled"])
+    def test_page_table_modes(self, preserve):
+        def factory(config):
+            return PageTable(
+                layout=config.layout(),
+                phys_pages=4096,
+                preserve_location_bits=preserve,
+                seed=99,
+            )
+
+        (fast_stats, _), _ = run_pair(
+            DEFAULT_CONFIG,
+            regular_program(432),
+            translation_factory=factory,
+        )
+        assert fast_stats.llc_accesses > 0
+
+    def test_page_fault_order_matches_scalar(self):
+        """Batch translation must fault pages in first-touch order."""
+        config = DEFAULT_CONFIG
+        program = regular_program(432)
+        tables = {}
+
+        def factory_for(mode):
+            def factory(config):
+                table = PageTable(
+                    layout=config.layout(),
+                    phys_pages=4096,
+                    preserve_location_bits=False,
+                    seed=7,
+                )
+                tables[mode] = table
+                return table
+
+            return factory
+
+        run_mode(config, program, "fast", translation_factory=factory_for("fast"))
+        run_mode(
+            config, program, "reference",
+            translation_factory=factory_for("reference"),
+        )
+        assert tables["fast"]._vpn_to_ppn == tables["reference"]._vpn_to_ppn
+        assert tables["fast"].page_faults == tables["reference"].page_faults
+
+
+# ---------------------------------------------------------------------------
+# Mode selection and the observer fallback
+# ---------------------------------------------------------------------------
+
+def _build(config, program):
+    inst = program.instantiate(page_bytes=config.page_bytes)
+    sets = partition_all_nests(inst, set_fraction=0.02)
+    machine = Manycore(config)
+    trace = ProgramTrace(inst, sets)
+    schedules = default_schedules(inst, sets, machine.mesh.num_nodes)
+    return machine, trace, schedules
+
+
+class TestModeSelection:
+    def test_mode_defaults_from_config(self):
+        machine, trace, _ = _build(DEFAULT_CONFIG, regular_program(72))
+        assert ExecutionEngine(machine, trace).mode == "fast"
+        machine_ref, trace_ref, _ = _build(
+            DEFAULT_CONFIG.reference_engine(), regular_program(72)
+        )
+        assert ExecutionEngine(machine_ref, trace_ref).mode == "reference"
+
+    def test_explicit_mode_overrides_config(self):
+        machine, trace, _ = _build(DEFAULT_CONFIG, regular_program(72))
+        assert ExecutionEngine(machine, trace, mode="reference").mode == "reference"
+
+    def test_invalid_mode_rejected(self):
+        machine, trace, _ = _build(DEFAULT_CONFIG, regular_program(72))
+        with pytest.raises(ValueError):
+            ExecutionEngine(machine, trace, mode="turbo")
+
+    def test_invalid_config_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_updates(engine_mode="turbo")
+
+
+class TestObserverFallback:
+    def test_access_batch_rejects_observer(self):
+        machine, _, _ = _build(DEFAULT_CONFIG, regular_program(72))
+        machine.observer = lambda tag, vaddr, is_write, timing: None
+        with pytest.raises(RuntimeError):
+            machine.access_batch(
+                0,
+                np.array([0, 32], dtype=np.int64),
+                np.array([False, False]),
+            )
+
+    def test_fast_engine_with_observer_matches_reference(self):
+        """An attached observer silently forces the scalar path."""
+        program = regular_program(216)
+        ref_stats, _ = run_mode(DEFAULT_CONFIG, program, "reference")
+
+        machine, trace, schedules = _build(DEFAULT_CONFIG, program)
+        seen = []
+        machine.observer = lambda tag, vaddr, is_write, timing: seen.append(tag)
+        engine = ExecutionEngine(machine, trace, mode="fast")
+        stats = engine.run([TripPlan(schedules=schedules, observe_label="obs")])
+        assert seen  # the observer really was fed per-access events
+        assert dataclasses.asdict(stats) == dataclasses.asdict(ref_stats)

@@ -1,0 +1,113 @@
+"""Golden-snapshot regression tests for end-to-end runs.
+
+One small, fully seeded run per LLC mode; the complete :class:`RunStats`
+is compared field by field against a JSON snapshot under ``tests/golden/``.
+Any change to the simulator's observable behaviour -- engine, caches,
+network, DRAM, translation -- shows up as a precise field-level diff here.
+
+To bless an intentional behaviour change, regenerate the snapshots:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/sim/test_golden_snapshot.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.default import default_schedules, partition_all_nests
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.refs import gather
+from repro.ir.symbolic import Idx, Param
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.engine import ExecutionEngine, TripPlan
+from repro.sim.machine import Manycore
+from repro.sim.trace import ProgramTrace
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
+REGEN_VAR = "REPRO_REGEN_GOLDEN"
+
+I = Idx("i")
+
+
+def snapshot_program():
+    """Seeded two-nest program mixing affine and indirect references."""
+    N, P, A = Param("N"), Param("P"), Param("A")
+    a = declare("A", N, elem_bytes=128)
+    b = declare("B", N, elem_bytes=128)
+    x = declare("X", A, elem_bytes=64)
+    ind = declare("IND", P, elem_bytes=8)
+    stream = (
+        nest_builder("stream")
+        .loop("i", 0, N)
+        .reads(a(I))
+        .writes(b(I))
+        .compute(5)
+        .build()
+    )
+    walk = (
+        nest_builder("walk")
+        .loop("i", 0, P)
+        .reads(ind(I))
+        .accesses(gather(x, ind, I))
+        .compute(5)
+        .build()
+    )
+
+    def build_ind(params, rng):
+        return rng.integers(0, params["A"], size=params["P"])
+
+    return Program(
+        "golden",
+        (stream, walk),
+        default_params={"N": 540, "P": 900, "A": 640},
+        index_array_builders={"IND": build_ind},
+        seed=2024,
+    )
+
+
+def run_snapshot(config):
+    instance = snapshot_program().instantiate(page_bytes=config.page_bytes)
+    sets = partition_all_nests(instance, set_fraction=0.02)
+    machine = Manycore(config)
+    engine = ExecutionEngine(machine, ProgramTrace(instance, sets))
+    schedules = default_schedules(instance, sets, machine.mesh.num_nodes)
+    stats = engine.run([TripPlan(schedules=schedules)])
+    return dataclasses.asdict(stats)
+
+
+@pytest.mark.parametrize("llc", ["shared", "private"])
+def test_run_stats_match_golden(llc):
+    config = (
+        DEFAULT_CONFIG.shared_llc() if llc == "shared"
+        else DEFAULT_CONFIG.private_llc()
+    )
+    actual = run_snapshot(config)
+    golden_path = GOLDEN_DIR / f"run_{llc}.json"
+
+    if os.environ.get(REGEN_VAR):
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"regenerated {golden_path}")
+
+    assert golden_path.exists(), (
+        f"missing golden snapshot {golden_path}; generate it with "
+        f"{REGEN_VAR}=1"
+    )
+    expected = json.loads(golden_path.read_text())
+    assert set(actual) == set(expected), "RunStats field set changed"
+    mismatches = {
+        field: (expected[field], actual[field])
+        for field in sorted(expected)
+        if actual[field] != expected[field]
+    }
+    assert not mismatches, (
+        "RunStats drifted from golden snapshot (expected, actual): "
+        f"{mismatches}"
+    )

@@ -35,6 +35,31 @@ class TestRunStats:
         assert s.memory_stall_fraction == 0.0
         assert s.overhead_fraction == 0.0
 
+    def test_zero_accesses_everywhere(self):
+        """A run that never touched memory has all-zero derived metrics."""
+        s = RunStats(execution_cycles=500, iterations_executed=100)
+        assert s.llc_hit_rate == 0.0
+        assert s.llc_miss_rate == 0.0
+        assert s.avg_hops == 0.0
+        assert s.memory_stall_fraction == 0.0
+
+    def test_fractions_of_execution(self):
+        s = RunStats(
+            execution_cycles=1000,
+            memory_stall_cycles=250,
+            overhead_cycles=100,
+        )
+        assert s.memory_stall_fraction == 0.25
+        assert s.overhead_fraction == 0.1
+
+    @given(
+        st.integers(0, 10**6), st.integers(0, 10**6),
+    )
+    def test_hit_rate_bounded(self, accesses, hits):
+        hits = min(hits, accesses)
+        s = RunStats(l1_accesses=accesses, l1_hits=hits)
+        assert 0.0 <= s.l1_hit_rate <= 1.0
+
 
 class TestPercentReduction:
     def test_basic(self):
@@ -65,15 +90,26 @@ class TestComparison:
         assert c.network_latency_reduction == pytest.approx(50.0)
         assert c.overhead_percent == pytest.approx(5.0)
 
+    def test_zero_baseline_run(self):
+        """Empty baseline (no packets, zero cycles) must not divide by zero."""
+        c = Comparison("empty", RunStats(), RunStats(execution_cycles=100))
+        assert c.execution_time_reduction == 0.0
+        assert c.network_latency_reduction == 0.0
+        assert c.overhead_percent == 0.0
+
+    def test_identical_runs_reduce_zero(self):
+        s = RunStats(
+            execution_cycles=500, network_packets=5, network_total_latency=60
+        )
+        c = Comparison("same", s, s)
+        assert c.execution_time_reduction == 0.0
+        assert c.network_latency_reduction == 0.0
+
 
 class TestAggregates:
     def test_geomean_basic(self):
         assert geomean([4.0, 16.0]) == pytest.approx(8.0)
         assert geomean([]) == 0.0
-
-    def test_geomean_floors_nonpositive(self):
-        value = geomean([10.0, -5.0])
-        assert value > 0.0  # does not crash, floors at epsilon
 
     def test_mean(self):
         assert mean([1.0, 2.0, 3.0]) == 2.0
@@ -83,3 +119,46 @@ class TestAggregates:
     def test_geomean_between_min_and_max(self, values):
         g = geomean(values)
         assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+    # -- sign-aware behaviour on regressions (negative "reductions") -------
+    def test_geomean_negative_keeps_sign(self):
+        """A mix with a regression aggregates in ratio space, signed."""
+        with pytest.warns(RuntimeWarning):
+            value = geomean([10.0, -5.0])
+        # (1.10 * 0.95)^(1/2) - 1  =  +2.2262...%
+        assert value == pytest.approx(100.0 * (math.sqrt(1.10 * 0.95) - 1.0))
+
+    def test_geomean_single_negative_is_identity(self):
+        with pytest.warns(RuntimeWarning):
+            assert geomean([-12.0]) == pytest.approx(-12.0)
+
+    def test_geomean_net_regression_is_negative(self):
+        """The old epsilon-floor reported this near zero; now it is < 0."""
+        with pytest.warns(RuntimeWarning):
+            assert geomean([5.0, -40.0]) < 0.0
+
+    def test_geomean_zero_uses_ratio_space(self):
+        with pytest.warns(RuntimeWarning):
+            value = geomean([0.0, 0.0])
+        assert value == pytest.approx(0.0)
+
+    def test_geomean_below_minus_100_is_nan(self):
+        with pytest.warns(RuntimeWarning, match="-100%"):
+            assert math.isnan(geomean([50.0, -150.0]))
+
+    def test_geomean_all_positive_emits_no_warning(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+
+    @given(
+        st.lists(st.floats(-99.0, 99.0), min_size=1, max_size=20).filter(
+            lambda vs: min(vs) <= 0.0
+        )
+    )
+    def test_geomean_signed_bounded_by_min_and_max(self, values):
+        with pytest.warns(RuntimeWarning):
+            g = geomean(values)
+        assert min(values) - 1e-6 <= g <= max(values) + 1e-6

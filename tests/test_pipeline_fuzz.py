@@ -6,6 +6,8 @@ analysis, mapping, balancing and simulation without errors, producing a
 complete schedule and a consistent run.
 """
 
+import dataclasses
+
 from hypothesis import given, settings, strategies as st
 
 from repro.baselines.default import default_schedules, partition_all_nests
@@ -14,12 +16,25 @@ from repro.ir.arrays import declare
 from repro.ir.builder import nest_builder
 from repro.ir.loops import Program
 from repro.ir.symbolic import Idx
-from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.config import DEFAULT_CONFIG, NetworkModel
 from repro.sim.engine import ExecutionEngine, TripPlan
 from repro.sim.machine import Manycore
 from repro.sim.trace import ProgramTrace
 
 I, J = Idx("i"), Idx("j")
+
+# LLC organization x network model variants the fuzzers draw from; the
+# default (shared LLC, analytic network) is in the pool alongside the
+# private-LLC and wormhole/ideal-network configurations.
+CONFIG_VARIANTS = [
+    DEFAULT_CONFIG,
+    DEFAULT_CONFIG.private_llc(),
+    DEFAULT_CONFIG.with_updates(network_model=NetworkModel.WORMHOLE),
+    DEFAULT_CONFIG.private_llc().with_updates(
+        network_model=NetworkModel.WORMHOLE
+    ),
+    DEFAULT_CONFIG.ideal_network(),
+]
 
 
 @st.composite
@@ -54,11 +69,10 @@ def small_programs(draw):
     return Program("fuzz", (nest,))
 
 
-@given(program=small_programs())
+@given(program=small_programs(), config=st.sampled_from(CONFIG_VARIANTS))
 @settings(max_examples=12, deadline=None)
-def test_random_programs_flow_through_everything(program):
+def test_random_programs_flow_through_everything(program, config):
     instance = program.instantiate()
-    config = DEFAULT_CONFIG
 
     compiler = LocationAwareCompiler(config, cme_accuracy=0.9)
     compiled = compiler.compile(instance)
@@ -83,23 +97,45 @@ def test_random_programs_flow_through_everything(program):
     assert stats.execution_cycles > 0
 
 
-@given(program=small_programs())
+@given(program=small_programs(), config=st.sampled_from(CONFIG_VARIANTS))
 @settings(max_examples=8, deadline=None)
-def test_random_programs_baseline_equivalence(program):
+def test_random_programs_baseline_equivalence(program, config):
     """Default and LA schedules execute the same work (iteration counts)."""
     instance = program.instantiate()
     sets = partition_all_nests(
-        instance, set_fraction=DEFAULT_CONFIG.iteration_set_fraction
+        instance, set_fraction=config.iteration_set_fraction
     )
     base = default_schedules(instance, sets, 36)
-    machine = Manycore(DEFAULT_CONFIG)
+    machine = Manycore(config)
     engine = ExecutionEngine(machine, ProgramTrace(instance, sets))
     stats = engine.run([TripPlan(schedules=base)])
-    compiled = LocationAwareCompiler(DEFAULT_CONFIG).compile(instance)
-    machine2 = Manycore(DEFAULT_CONFIG)
+    compiled = LocationAwareCompiler(config).compile(instance)
+    machine2 = Manycore(config)
     engine2 = ExecutionEngine(machine2, ProgramTrace(instance, sets))
     stats2 = engine2.run([TripPlan(schedules=compiled.schedules)])
     assert stats.iterations_executed == stats2.iterations_executed
     acc1, _ = machine.hierarchy.aggregate_l1_stats()
     acc2, _ = machine2.hierarchy.aggregate_l1_stats()
     assert acc1 == acc2  # same accesses issued, wherever they ran
+
+
+@given(program=small_programs(), config=st.sampled_from(CONFIG_VARIANTS))
+@settings(max_examples=8, deadline=None)
+def test_random_programs_fast_matches_reference(program, config):
+    """Differential fuzz: the batched engine is exact on random programs."""
+    instance = program.instantiate()
+    sets = partition_all_nests(
+        instance, set_fraction=config.iteration_set_fraction
+    )
+    schedules = default_schedules(instance, sets, 36)
+    results = []
+    for mode in ("fast", "reference"):
+        machine = Manycore(config)
+        engine = ExecutionEngine(
+            machine, ProgramTrace(instance, sets), mode=mode
+        )
+        results.append(
+            engine.run([TripPlan(schedules=schedules, observe_label="f")])
+        )
+    fast, reference = results
+    assert dataclasses.asdict(fast) == dataclasses.asdict(reference)
