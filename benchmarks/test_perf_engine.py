@@ -14,10 +14,12 @@ Run with::
 from __future__ import annotations
 
 import json
+import platform
 import time
 from pathlib import Path
 
 from repro.baselines.default import default_schedules, partition_all_nests
+from repro.obs import config_hash, package_version
 from repro.ir.arrays import declare
 from repro.ir.builder import nest_builder
 from repro.ir.loops import Program
@@ -98,6 +100,15 @@ def test_fast_engine_speedup():
         "fast_iterations_per_sec": round(fast_ips, 1),
         "speedup": round(speedup, 2),
         "min_speedup_required": MIN_SPEEDUP,
+        # Mini-manifest: what produced this point on the perf trajectory.
+        "manifest": {
+            "config_hash": config_hash(DEFAULT_CONFIG),
+            "version": package_version(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "reference_seconds": round(ref_seconds, 4),
+            "fast_seconds": round(fast_seconds, 4),
+        },
     }
     history = []
     if BENCH_PATH.exists():

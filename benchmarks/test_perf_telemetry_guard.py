@@ -1,0 +1,95 @@
+"""Disabled telemetry must be (nearly) free on the fast engine.
+
+The observability layer's contract is that every attachment point treats
+an absent or disabled :class:`repro.obs.Telemetry` as "off" and caches
+that decision once, outside the hot loops.  This guard runs the same
+L1-hit-heavy workload the engine throughput benchmark uses, A/B-ing
+
+* ``telemetry=None``            (the pre-telemetry configuration), vs
+* ``Telemetry(enabled=False)``  (a disabled hub passed everywhere),
+
+and asserts the disabled hub costs less than 2% wall time.  Both arms run
+in the same process interleaved best-of-N, so the comparison is stable on
+shared CI machines; the measured point is appended to
+``BENCH_telemetry.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_telemetry_guard.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.obs import Telemetry, config_hash, package_version
+from repro.sim.config import DEFAULT_CONFIG
+from repro.sim.engine import ExecutionEngine, TripPlan
+from repro.sim.machine import Manycore
+
+from test_perf_engine import build_workload
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+MAX_OVERHEAD = 0.02  # disabled telemetry may cost at most 2%
+
+
+def _time_once(trace, schedules, telemetry):
+    machine = Manycore(DEFAULT_CONFIG, telemetry=telemetry)
+    engine = ExecutionEngine(machine, trace, mode="fast")
+    t0 = time.perf_counter()
+    stats = engine.run([TripPlan(schedules=schedules)])
+    return time.perf_counter() - t0, stats
+
+
+def test_disabled_telemetry_overhead():
+    trace, schedules = build_workload()
+    # Warm both arms once (trace caches, numpy dispatch) before timing.
+    _time_once(trace, schedules, None)
+    _time_once(trace, schedules, Telemetry.disabled())
+
+    best_off = best_none = float("inf")
+    stats_none = stats_off = None
+    for _ in range(5):
+        # Interleave the arms so drift (thermal, noisy neighbours) hits
+        # both equally.
+        seconds, stats_none = _time_once(trace, schedules, None)
+        best_none = min(best_none, seconds)
+        seconds, stats_off = _time_once(trace, schedules, Telemetry.disabled())
+        best_off = min(best_off, seconds)
+
+    # A disabled hub must not change simulated behaviour at all.
+    assert stats_off.execution_cycles == stats_none.execution_cycles
+    assert stats_off.iterations_executed == stats_none.iterations_executed
+
+    overhead = best_off / best_none - 1.0
+    record = {
+        "benchmark": "telemetry_disabled_overhead",
+        "workload": "hit_heavy_regular(R=400, M=64, elem=8B)",
+        "no_telemetry_seconds": round(best_none, 4),
+        "disabled_telemetry_seconds": round(best_off, 4),
+        "overhead_fraction": round(overhead, 4),
+        "max_overhead_allowed": MAX_OVERHEAD,
+        "manifest": {
+            "config_hash": config_hash(DEFAULT_CONFIG),
+            "version": package_version(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(record)
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"\ndisabled-telemetry overhead: {100 * overhead:+.2f}% "
+        f"(none {best_none:.3f}s, disabled {best_off:.3f}s)"
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"disabled telemetry costs {100 * overhead:.2f}% "
+        f"(> {100 * MAX_OVERHEAD:.0f}% budget)"
+    )

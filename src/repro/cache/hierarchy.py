@@ -167,3 +167,33 @@ class CacheHierarchy:
         accesses = sum(c.stats.accesses for c in self._llcs)
         hits = sum(c.stats.hits for c in self._llcs)
         return accesses, hits
+
+    def per_node_l1_stats(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-node L1 ``(accesses, hits)`` vectors (tile heatmaps).
+
+        A core only ever touches its own L1, so ``accesses[node]`` is also
+        the count of memory references the core at ``node`` issued -- the
+        per-tile access heatmap.  Both engine modes maintain these counters
+        natively (the bulk cursor adds whole hit runs at once).
+        """
+        accesses = np.fromiter(
+            (c.stats.accesses for c in self._l1s),
+            dtype=np.int64, count=self.num_nodes,
+        )
+        hits = np.fromiter(
+            (c.stats.hits for c in self._l1s),
+            dtype=np.int64, count=self.num_nodes,
+        )
+        return accesses, hits
+
+    def per_bank_llc_stats(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-bank LLC ``(requests, hits)`` vectors (bank heatmaps)."""
+        accesses = np.fromiter(
+            (c.stats.accesses for c in self._llcs),
+            dtype=np.int64, count=self.num_nodes,
+        )
+        hits = np.fromiter(
+            (c.stats.hits for c in self._llcs),
+            dtype=np.int64, count=self.num_nodes,
+        )
+        return accesses, hits

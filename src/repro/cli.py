@@ -5,6 +5,8 @@ Commands:
 * ``list``                          -- the 21 benchmarks and their metadata
 * ``run APP [--mapping M] [...]``   -- simulate one app, print stats
 * ``compare APP [...]``             -- default vs location-aware side by side
+* ``profile APP [...]``             -- phase breakdown + manifest for one run
+* ``heatmap APP [--metric M] [...]``-- spatial traffic over the mesh
 * ``figure NAME [...]``             -- regenerate one paper figure's table
 * ``properties``                    -- Table 3 (static columns)
 
@@ -12,6 +14,8 @@ Examples::
 
     python -m repro compare mxm --scale 0.6
     python -m repro run nbf --mapping la --llc private
+    python -m repro profile mxm --mapping la --events /tmp/mxm.jsonl
+    python -m repro heatmap mxm --metric mc --mapping la
     python -m repro figure fig09 --apps mxm,nbf --scale 0.5
 """
 
@@ -24,6 +28,15 @@ from typing import List, Optional
 from repro.experiments import figures as fig
 from repro.experiments.harness import MAPPINGS, compare, run_workload
 from repro.experiments.report import print_table
+from repro.obs import LEVELS, EventStream, Telemetry
+from repro.obs.render import (
+    HEATMAP_METRICS,
+    heatmap_csv,
+    render_heatmap,
+    render_histograms,
+    render_manifest,
+    render_phase_table,
+)
 from repro.sim.config import DEFAULT_CONFIG, SystemConfig
 from repro.workloads import SUITE_ORDER, build_workload, suite_properties
 
@@ -94,8 +107,12 @@ def cmd_run(args) -> int:
 
 def cmd_compare(args) -> int:
     workload = build_workload(args.app)
+    # Profile the comparison's optimized run so the report says not only
+    # what the numbers are but where the wall time producing them went.
+    telemetry = Telemetry(events=EventStream(level="off"))
     comparison, base, opt = compare(
-        workload, _config(args), optimized=args.mapping, scale=args.scale
+        workload, _config(args), optimized=args.mapping, scale=args.scale,
+        telemetry=telemetry,
     )
     print_table(
         ["metric", "default", args.mapping],
@@ -113,6 +130,59 @@ def cmd_compare(args) -> int:
           f"{comparison.network_latency_reduction:6.1f}%")
     print(f"execution time reduction:  "
           f"{comparison.execution_time_reduction:6.1f}%")
+    print()
+    print(render_phase_table(
+        telemetry, title=f"phase profile ({args.mapping} run)"
+    ))
+    print(render_manifest(opt.stats.manifest))
+    return 0
+
+
+def _run_with_telemetry(args, level: str = "off"):
+    """Shared profile/heatmap front half: one instrumented run."""
+    workload = build_workload(args.app)
+    config = _config(args)
+    telemetry = Telemetry(events=EventStream(level=level))
+    result = run_workload(
+        workload, config, mapping=args.mapping, scale=args.scale,
+        telemetry=telemetry,
+    )
+    return workload, config, telemetry, result
+
+
+def cmd_profile(args) -> int:
+    _, _, telemetry, result = _run_with_telemetry(args, level=args.level)
+    print(f"{args.app} [{args.mapping}, {args.llc} LLC, scale {args.scale}]")
+    print()
+    print(render_phase_table(telemetry))
+    print()
+    print(render_histograms(telemetry))
+    print()
+    print(render_manifest(result.stats.manifest))
+    if args.events:
+        telemetry.events.save(args.events)
+        print(f"\n{len(telemetry.events.events)} events -> {args.events}")
+    return 0
+
+
+def cmd_heatmap(args) -> int:
+    _, config, telemetry, _ = _run_with_telemetry(args)
+    mesh = config.build_mesh()
+    metrics = (
+        list(HEATMAP_METRICS) if args.metric == "all" else [args.metric]
+    )
+    for metric in metrics:
+        if args.format == "csv":
+            sys.stdout.write(heatmap_csv(telemetry.spatial, mesh, metric))
+        else:
+            print(render_heatmap(
+                telemetry.spatial, mesh, metric,
+                region_w=config.region_w, region_h=config.region_h,
+                title=(
+                    f"{args.app} [{args.mapping}] -- {metric}"
+                ),
+            ))
+            print()
     return 0
 
 
@@ -164,14 +234,26 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("run", "simulate one application"),
         ("compare", "default vs optimized mapping"),
+        ("profile", "phase breakdown, distributions, run manifest"),
+        ("heatmap", "spatial traffic heatmaps over the mesh"),
     ):
         p = sub.add_parser(name, help=help_text)
         p.add_argument("app", choices=SUITE_ORDER)
-        p.add_argument("--mapping", default="la" if name == "compare" else
-                       "default", choices=MAPPINGS)
+        p.add_argument("--mapping", default="default" if name == "run" else
+                       "la", choices=MAPPINGS)
         p.add_argument("--llc", default="shared",
                        choices=("shared", "private"))
         p.add_argument("--scale", type=float, default=1.0)
+        if name == "profile":
+            p.add_argument("--level", default="decisions", choices=LEVELS,
+                           help="event stream verbosity")
+            p.add_argument("--events", default="",
+                           help="write the event stream to this JSONL file")
+        if name == "heatmap":
+            p.add_argument("--metric", default="mc",
+                           choices=HEATMAP_METRICS + ("all",))
+            p.add_argument("--format", default="ascii",
+                           choices=("ascii", "csv"))
 
     p = sub.add_parser("figure", help="regenerate one figure's data")
     p.add_argument("name", choices=sorted(FIGURES))
@@ -186,6 +268,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "run": cmd_run,
         "compare": cmd_compare,
+        "profile": cmd_profile,
+        "heatmap": cmd_heatmap,
         "figure": cmd_figure,
         "properties": cmd_properties,
     }

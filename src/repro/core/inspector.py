@@ -165,7 +165,7 @@ class InspectorExecutor:
             report.affinities[(nest_index, set_id)] = affinity
             by_nest.setdefault(nest_index, []).append(affinity)
         for nest_index, affinities in by_nest.items():
-            schedule = self.mapper.assign(affinities)
+            schedule = self.mapper.assign(affinities, nest_index=nest_index)
             report.schedules[nest_index] = schedule.set_to_core
             report.moved_fractions[nest_index] = schedule.moved_fraction
 

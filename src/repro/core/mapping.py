@@ -83,11 +83,15 @@ class Mapper:
         balance: bool = True,
         alpha_weighting: bool = True,
         seed: int = 11,
+        events=None,
     ):
         self.partition = partition
         self.organization = organization
         self.placement = placement
         self.balance = balance
+        # Optional repro.obs.EventStream: assign() narrates its decisions
+        # (chosen region + eta per set, donor/receiver balance moves).
+        self.events = events
         # Algorithm 2's pseudo-code sums eta1 + eta2 unweighted; the text
         # (Section 3.8) weights them by alpha.  The weighted form is the
         # default; the unweighted form is kept for the ablation study.
@@ -135,8 +139,17 @@ class Mapper:
         return errors
 
     # ------------------------------------------------------------------
-    def assign(self, affinities: Sequence[SetAffinity]) -> Schedule:
-        """Run the full pipeline: region assignment, balancing, placement."""
+    def assign(
+        self,
+        affinities: Sequence[SetAffinity],
+        nest_index: Optional[int] = None,
+    ) -> Schedule:
+        """Run the full pipeline: region assignment, balancing, placement.
+
+        ``nest_index`` only labels the emitted telemetry events (callers
+        that map one nest at a time pass it so decision streams can be
+        joined back to the program structure).
+        """
         if not affinities:
             return Schedule({}, {}, 0.0)
         ids = [a.set_id for a in affinities]
@@ -149,18 +162,64 @@ class Mapper:
             for i, affinity in enumerate(affinities)
         }
         moved_fraction = 0.0
+        id_errors = _reindex_errors(errors, ids)
+        transfers = []
         if self.balance:
             # Balance on a set-id-indexed error view.
-            id_errors = _reindex_errors(errors, ids)
             result = balance_regions(set_to_region, id_errors, self.partition)
             set_to_region = result.set_to_region
             moved_fraction = result.moved_fraction()
+            transfers = result.transfers
         set_to_core = self._place_within_regions(set_to_region, affinities)
+        if self.events is not None and self.events.enabled:
+            self._emit_decisions(
+                nest_index, affinities, errors, set_to_region, set_to_core,
+                transfers, id_errors, moved_fraction,
+            )
         return Schedule(
             set_to_core=set_to_core,
             set_to_region=set_to_region,
             moved_fraction=moved_fraction,
             errors=errors,
+        )
+
+    def _emit_decisions(
+        self, nest_index, affinities, errors, set_to_region, set_to_core,
+        transfers, id_errors, moved_fraction,
+    ) -> None:
+        """Narrate one assign() into the event stream (decision level)."""
+        emit = self.events.emit
+        for i, affinity in enumerate(affinities):
+            set_id = affinity.set_id
+            region = set_to_region[set_id]
+            emit(
+                "mapper.assign",
+                nest=nest_index,
+                set=set_id,
+                region=region,
+                argmin_region=int(np.argmin(errors[i])),
+                eta=round(float(errors[i, region]), 6),
+                core=set_to_core[set_id],
+                iterations=affinity.iterations,
+            )
+        for set_id, donor, receiver in transfers:
+            emit(
+                "balance.move",
+                nest=nest_index,
+                set=set_id,
+                donor=donor,
+                receiver=receiver,
+                regret=round(
+                    float(id_errors[set_id, receiver]
+                          - id_errors[set_id, donor]), 6,
+                ),
+            )
+        emit(
+            "mapper.summary",
+            nest=nest_index,
+            sets=len(affinities),
+            moved=len(transfers),
+            moved_fraction=round(moved_fraction, 6),
         )
 
     # ------------------------------------------------------------------

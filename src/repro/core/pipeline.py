@@ -76,9 +76,15 @@ class LocationAwareCompiler:
         num_regions: Optional[int] = None,
         check_parallelism: bool = True,
         seed: int = 11,
+        telemetry=None,
     ):
         self.config = config
         self.check_parallelism = check_parallelism
+        # Optional repro.obs.Telemetry: phases time the Figure 4 stages and
+        # the mapper narrates its decisions into the hub's event stream.
+        if telemetry is not None and not telemetry.enabled:
+            telemetry = None
+        self.telemetry = telemetry
         self.iteration_set_fraction = (
             iteration_set_fraction
             if iteration_set_fraction is not None
@@ -105,6 +111,7 @@ class LocationAwareCompiler:
             balance=balance,
             alpha_weighting=alpha_weighting,
             seed=seed,
+            events=self.telemetry.events if self.telemetry is not None else None,
         )
         # CME models the capacity the program actually has available: the
         # local bank for private LLCs, the aggregate for S-NUCA.
@@ -137,10 +144,18 @@ class LocationAwareCompiler:
                 validate_parallelism(nest)
             sets = self.partition_nest(instance, nest_index)
             result.iteration_sets[nest_index] = sets
-            affinities = self._analyze_nest(instance, nest_index, sets)
+            if self.telemetry is not None:
+                with self.telemetry.phase("analyze"):
+                    affinities = self._analyze_nest(instance, nest_index, sets)
+            else:
+                affinities = self._analyze_nest(instance, nest_index, sets)
             for affinity in affinities:
                 result.affinities[(nest_index, affinity.set_id)] = affinity
-            schedule = self.mapper.assign(affinities)
+            if self.telemetry is not None:
+                with self.telemetry.phase("assign"):
+                    schedule = self.mapper.assign(affinities, nest_index=nest_index)
+            else:
+                schedule = self.mapper.assign(affinities, nest_index=nest_index)
             result.schedules[nest_index] = schedule.set_to_core
             result.moved_fractions[nest_index] = schedule.moved_fraction
         return result

@@ -29,6 +29,8 @@ reported 76-93% band; pass 1.0 for the Figure 15 oracle.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -46,6 +48,7 @@ from repro.core.inspector import (
     InspectorReport,
 )
 from repro.core.pipeline import CompiledSchedule, LocationAwareCompiler
+from repro.obs import Telemetry, build_manifest
 from repro.sim.config import SystemConfig
 from repro.sim.engine import ExecutionEngine, TripPlan
 from repro.sim.machine import Manycore
@@ -162,6 +165,7 @@ def run_workload(
     seed: int = 11,
     compiler_kwargs: Optional[dict] = None,
     inspector_cost: Optional[InspectorCost] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Simulate one workload end to end; returns stats + artifacts.
 
@@ -169,32 +173,53 @@ def run_workload(
     ``MODELED_TRIPS``); the number of *simulated* trips stays 2-3 (cold /
     migration / steady) regardless, with the remainder extrapolated from
     the steady-state trip.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`) attaches the run's
+    observability hub: phase timers around setup / compile / each simulated
+    trip, spatial traffic accumulators collected off the machine, mapper
+    decision events, and a run manifest on ``result.stats.manifest``.  A
+    ``None`` or disabled hub costs nothing.
     """
     if mapping not in MAPPINGS:
         raise ValueError(f"unknown mapping {mapping!r}; one of {MAPPINGS}")
+    if telemetry is not None and not telemetry.enabled:
+        telemetry = None
+    wall_start = time.perf_counter()
+
+    def _timed(name):
+        return telemetry.phase(name) if telemetry is not None else nullcontext()
+
     modeled_trips = trips if trips is not None else MODELED_TRIPS
     if modeled_trips < 3:
         raise ValueError("modeled trip count must be at least 3")
-    instance = workload.instantiate(page_bytes=config.page_bytes, scale=scale)
-    compiler_kwargs = dict(compiler_kwargs or {})
-    set_fraction = compiler_kwargs.pop(
-        "iteration_set_fraction", config.iteration_set_fraction
-    )
-    iteration_sets = partition_all_nests(instance, set_fraction=set_fraction)
-    translation = _build_translation(mapping, instance, iteration_sets, config)
-    machine = Manycore(config, translation=translation)
-    trace = ProgramTrace(instance, iteration_sets)
-    engine = ExecutionEngine(machine, trace)
-    num_cores = machine.mesh.num_nodes
-    base_schedules = default_schedules(instance, iteration_sets, num_cores)
+    with _timed("setup"):
+        instance = workload.instantiate(
+            page_bytes=config.page_bytes, scale=scale
+        )
+        compiler_kwargs = dict(compiler_kwargs or {})
+        set_fraction = compiler_kwargs.pop(
+            "iteration_set_fraction", config.iteration_set_fraction
+        )
+        iteration_sets = partition_all_nests(
+            instance, set_fraction=set_fraction
+        )
+        translation = _build_translation(
+            mapping, instance, iteration_sets, config
+        )
+        machine = Manycore(config, translation=translation, telemetry=telemetry)
+        trace = ProgramTrace(instance, iteration_sets)
+        engine = ExecutionEngine(machine, trace)
+        num_cores = machine.mesh.num_nodes
+        base_schedules = default_schedules(instance, iteration_sets, num_cores)
     stats = RunStats()
 
-    def run_phase(schedules, label=None, start=0, overhead=0):
-        phase_stats = engine.run(
-            [TripPlan(schedules=schedules, observe_label=label,
-                      overhead_cycles=overhead)],
-            start_cycle=start,
-        )
+    def run_phase(schedules, label=None, start=0, overhead=0, phase="sim"):
+        with _timed(phase):
+            phase_stats = engine.run(
+                [TripPlan(schedules=schedules, observe_label=label,
+                          overhead_cycles=overhead)],
+                start_cycle=start,
+            )
         stats.memory_stall_cycles += phase_stats.memory_stall_cycles
         stats.iterations_executed += phase_stats.iterations_executed
         return phase_stats.execution_cycles
@@ -208,9 +233,11 @@ def run_workload(
         # Single-schedule runs: cold trip, then a steady trip we measure.
         if wants_la:
             compiler = _build_compiler(
-                config, cme_accuracy, set_fraction, seed, compiler_kwargs
+                config, cme_accuracy, set_fraction, seed, compiler_kwargs,
+                telemetry=telemetry,
             )
-            compiled = compiler.compile(instance)
+            with _timed("compile"):
+                compiled = compiler.compile(instance)
             schedules = compiled.schedules
             moved = compiled.avg_moved_fraction
         elif mapping == "hardware":
@@ -226,10 +253,12 @@ def run_workload(
             )
         else:
             schedules = base_schedules
-        cold_end = run_phase(schedules)
+        cold_end = run_phase(schedules, phase="sim.cold")
         snap = _NetSnapshot.of(machine)
         label = OBSERVE_RUN if (observe or wants_la) else None
-        steady_end = run_phase(schedules, label=label, start=cold_end)
+        steady_end = run_phase(
+            schedules, label=label, start=cold_end, phase="sim.steady"
+        )
         steady = steady_end - cold_end
         snap.diff_into(machine, stats)
         stats.execution_cycles = cold_end + (modeled_trips - 1) * steady
@@ -239,7 +268,8 @@ def run_workload(
         from repro.core.inspector import InspectorExecutor
 
         compiler = _build_compiler(
-            config, cme_accuracy, set_fraction, seed, compiler_kwargs
+            config, cme_accuracy, set_fraction, seed, compiler_kwargs,
+            telemetry=telemetry,
         )
         inspector = InspectorExecutor(
             engine=engine,
@@ -247,9 +277,12 @@ def run_workload(
             region_of_node=compiler.partition.region_of_node,
             cost=inspector_cost,
         )
-        inspect_end = run_phase(base_schedules, label=INSPECT_LABEL)
+        inspect_end = run_phase(
+            base_schedules, label=INSPECT_LABEL, phase="sim.inspect"
+        )
         report = InspectorReport()
-        inspector._derive(report)
+        with _timed("compile"):
+            inspector._derive(report)
         report.overhead_cycles = inspector.cost.total_cycles(
             recorded_accesses=inspector._recorded_accesses(),
             num_sets=len(report.affinities),
@@ -261,11 +294,13 @@ def run_workload(
             report.schedules.setdefault(nest_index, base)
         moved = report.avg_moved_fraction
         migrate_end = run_phase(
-            report.schedules, start=inspect_end, overhead=report.overhead_cycles
+            report.schedules, start=inspect_end,
+            overhead=report.overhead_cycles, phase="sim.migrate",
         )
         snap = _NetSnapshot.of(machine)
         steady_end = run_phase(
-            report.schedules, label=EXECUTE_LABEL, start=migrate_end
+            report.schedules, label=EXECUTE_LABEL, start=migrate_end,
+            phase="sim.steady",
         )
         steady = steady_end - migrate_end
         snap.diff_into(machine, stats)
@@ -280,6 +315,27 @@ def run_workload(
     stats.llc_hits = machine_stats.llc_hits
     stats.dram_accesses = machine_stats.dram_accesses
     stats.dram_row_hits = machine_stats.dram_row_hits
+    if telemetry is not None:
+        spatial = machine.collect_spatial()
+        if __debug__:
+            # Invariant sweep: the spatial accumulators must reconcile with
+            # the aggregate counters (l1 hits + misses == accesses, per-MC
+            # requests sum to LLC misses, ...).  Always on in debug runs.
+            violations = spatial.reconcile(stats)
+            assert not violations, (
+                "telemetry reconciliation failed: " + "; ".join(violations)
+            )
+        telemetry.manifest = build_manifest(
+            config,
+            seed=seed,
+            workload=workload.name,
+            mapping=mapping,
+            scale=scale,
+            wall_seconds=time.perf_counter() - wall_start,
+            phase_seconds=telemetry.phase_seconds(),
+            extra={"trips": modeled_trips, "cme_accuracy": cme_accuracy},
+        )
+        stats.manifest = telemetry.manifest
     return RunResult(
         stats=stats,
         compiled=compiled,
@@ -289,12 +345,14 @@ def run_workload(
     )
 
 
-def _build_compiler(config, cme_accuracy, set_fraction, seed, compiler_kwargs):
+def _build_compiler(config, cme_accuracy, set_fraction, seed, compiler_kwargs,
+                    telemetry=None):
     return LocationAwareCompiler(
         config,
         cme_accuracy=cme_accuracy,
         iteration_set_fraction=set_fraction,
         seed=seed,
+        telemetry=telemetry,
         **compiler_kwargs,
     )
 
@@ -309,8 +367,15 @@ def compare(
     observe: bool = False,
     seed: int = 11,
     compiler_kwargs: Optional[dict] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[Comparison, RunResult, RunResult]:
-    """Baseline (default mapping) vs an optimized mapping on one config."""
+    """Baseline (default mapping) vs an optimized mapping on one config.
+
+    ``telemetry`` instruments the *optimized* run only: spatial
+    accumulators are per-machine, and attaching one hub to both runs
+    would interleave their traffic.  Phase timers and the manifest on
+    ``opt.stats.manifest`` therefore describe the optimized run.
+    """
     base = run_workload(
         workload, config, mapping="default", scale=scale, trips=trips, seed=seed
     )
@@ -324,6 +389,7 @@ def compare(
         observe=observe,
         seed=seed,
         compiler_kwargs=compiler_kwargs,
+        telemetry=telemetry,
     )
     comparison = Comparison(
         name=workload.name, baseline=base.stats, optimized=opt.stats

@@ -46,6 +46,19 @@ class RoundRobinDistribution:
             unit = self.layout.line_number(addr)
         return unit % self.num_targets
 
+    def target_batch(self, addrs):
+        """Vectorized :meth:`target` over a numpy address array.
+
+        The layout helpers are pure shifts/masks, so they apply elementwise;
+        telemetry's spatial accumulators bin whole chunk streams through
+        this without a per-address Python call.
+        """
+        if self.granularity is Granularity.PAGE:
+            units = addrs >> self.layout.page_offset_bits
+        else:
+            units = addrs >> self.layout.line_offset_bits
+        return units % self.num_targets
+
 
 @dataclass(frozen=True)
 class DataDistribution:
@@ -80,6 +93,14 @@ class DataDistribution:
 
     def bank_of(self, addr: int) -> int:
         return self._bank_dist.target(addr)
+
+    def mc_of_batch(self, addrs):
+        """Vectorized :meth:`mc_of` over a numpy address array."""
+        return self._mc_dist.target_batch(addrs)
+
+    def bank_of_batch(self, addrs):
+        """Vectorized :meth:`bank_of` over a numpy address array."""
+        return self._bank_dist.target_batch(addrs)
 
     def describe(self) -> str:
         return (

@@ -64,6 +64,7 @@ class AnalyticNetwork(BaseNetwork):
 
     def _transfer(self, packet: Packet, hops: int) -> Tuple[int, int]:
         links = xy_links(self.mesh, packet.src, packet.dst)
+        self._record_links(links, packet.num_flits)
         base = hops * (self.router_delay + 1) + (packet.num_flits - 1)
         queueing = 0.0
         for link in links:

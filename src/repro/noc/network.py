@@ -68,6 +68,37 @@ class BaseNetwork:
         self.router_delay = router_delay
         self.zero_latency = zero_latency
         self.stats = NetworkStats()
+        # Telemetry attachment (see set_telemetry); all None when disabled
+        # so the per-packet fast path pays one predicate, nothing more.
+        self.telemetry = None
+        self._spatial = None
+        self._hist_latency = None
+        self._hist_hops = None
+
+    def set_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.obs.Telemetry` hub (or None to detach).
+
+        Caches the spatial accumulators and the latency/hops histograms so
+        :meth:`transfer` never does a dict lookup per packet.
+        """
+        if telemetry is None or not telemetry.enabled:
+            self.telemetry = None
+            self._spatial = None
+            self._hist_latency = None
+            self._hist_hops = None
+            return
+        self.telemetry = telemetry
+        self._spatial = telemetry.spatial
+        self._hist_latency = telemetry.histogram("noc.packet_latency")
+        self._hist_hops = telemetry.histogram("noc.packet_hops")
+
+    def _record_links(self, links, flits: int) -> None:
+        """Add one packet's flits to every link it crosses (if observed)."""
+        spatial = self._spatial
+        if spatial is not None:
+            link_flits = spatial.link_flits
+            for link in links:
+                link_flits[link] = link_flits.get(link, 0) + flits
 
     def transfer(self, packet: Packet) -> int:
         """Deliver ``packet``; returns the cycle its tail arrives at ``dst``.
@@ -81,12 +112,18 @@ class BaseNetwork:
             # Local delivery (or the ideal network of Figure 2): the message
             # does not enter the mesh.
             self.stats.record(latency=0, hops=0, flits=packet.num_flits, queueing=0)
+            if self._hist_latency is not None:
+                self._hist_latency.record(0)
+                self._hist_hops.record(0)
             return packet.inject_time
         arrival, queueing = self._transfer(packet, hops)
         latency = arrival - packet.inject_time
         self.stats.record(
             latency=latency, hops=hops, flits=packet.num_flits, queueing=queueing
         )
+        if self._hist_latency is not None:
+            self._hist_latency.record(latency)
+            self._hist_hops.record(hops)
         return arrival
 
     def _transfer(self, packet: Packet, hops: int) -> Tuple[int, int]:
@@ -112,6 +149,7 @@ class WormholeNetwork(BaseNetwork):
 
     def _transfer(self, packet: Packet, hops: int) -> Tuple[int, int]:
         links = xy_links(self.mesh, packet.src, packet.dst)
+        self._record_links(links, packet.num_flits)
         head = packet.inject_time
         queueing = 0
         for link in links:

@@ -1,0 +1,36 @@
+"""``repro.obs`` -- the observability layer.
+
+Zero-dependency telemetry for the simulator and the mapping pipeline:
+
+* :class:`Telemetry` -- counters, exact-value histograms, nested phase
+  timers (``with tele.phase(...)`` / ``@tele.profiled(...)``).
+* :class:`SpatialAccumulators` -- per-tile / per-LLC-bank / per-MC /
+  per-link traffic counts, recorded identically by both engine modes.
+* :class:`EventStream` -- structured JSONL decision events (mapper
+  placements, load-balance moves, engine phase boundaries) behind
+  level/sampling knobs.
+* :func:`build_manifest` / :func:`config_hash` -- run manifests.
+* :mod:`repro.obs.render` -- ASCII/CSV heatmaps and phase tables
+  (surfaced by ``repro profile`` and ``repro heatmap``).
+
+See ``docs/observability.md`` for the full API and event schema.
+"""
+
+from .events import LEVELS, EventStream
+from .manifest import build_manifest, config_digest, config_hash, package_version
+from .spatial import SpatialAccumulators
+from .telemetry import Histogram, PhaseRecord, Telemetry, profiled
+
+__all__ = [
+    "EventStream",
+    "Histogram",
+    "LEVELS",
+    "PhaseRecord",
+    "SpatialAccumulators",
+    "Telemetry",
+    "build_manifest",
+    "config_digest",
+    "config_hash",
+    "package_version",
+    "profiled",
+]

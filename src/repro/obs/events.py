@@ -1,0 +1,101 @@
+"""Structured JSONL event stream for scheduling / engine decisions.
+
+Events are plain dicts with a ``kind`` plus arbitrary JSON-serializable
+fields.  The stream records *decisions*, not wall time: every field an
+event carries is deterministic given (workload, config, seed), which is
+what lets the differential suite assert that the fast and reference
+engines drive the mapper to byte-identical decision streams.
+
+Levels (cheapest first): ``off`` < ``decisions`` < ``debug``.  An event
+carries its own level; the stream drops anything above its configured
+level before any formatting work happens.  ``sample`` additionally thins
+high-volume kinds deterministically (no RNG: event ``i`` of a kind is
+kept iff ``floor((i+1)*sample) > floor(i*sample)``), so two runs with the
+same knobs keep exactly the same subsequence.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, IO, List, Optional
+
+LEVELS = ("off", "decisions", "debug")
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class EventStream:
+    """In-memory (optionally tee'd to a file) JSONL event recorder."""
+
+    def __init__(
+        self,
+        level: str = "decisions",
+        sample: float = 1.0,
+        sink: Optional[IO[str]] = None,
+    ):
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {level!r}; one of {LEVELS}")
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError("sample must be in [0, 1]")
+        self.level = level
+        self.sample = sample
+        self.sink = sink
+        self.events: List[dict] = []
+        self._seq = 0
+        self._kind_seq: Dict[str, int] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.level != "off"
+
+    def _admits(self, level: str) -> bool:
+        return _LEVEL_RANK[level] <= _LEVEL_RANK[self.level]
+
+    def _sampled(self, kind: str) -> bool:
+        """Deterministic thinning; counts every offered event of a kind."""
+        i = self._kind_seq.get(kind, 0)
+        self._kind_seq[kind] = i + 1
+        if self.sample >= 1.0:
+            return True
+        if self.sample <= 0.0:
+            return False
+        return math.floor((i + 1) * self.sample) > math.floor(i * self.sample)
+
+    # -- recording -------------------------------------------------------
+    def emit(self, kind: str, level: str = "decisions", **fields) -> bool:
+        """Record one event; returns whether it was kept."""
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown level {level!r}; one of {LEVELS}")
+        if not self._admits(level) or not self._sampled(kind):
+            return False
+        event = {"seq": self._seq, "kind": kind}
+        event.update(fields)
+        self._seq += 1
+        self.events.append(event)
+        if self.sink is not None:
+            self.sink.write(json.dumps(event, sort_keys=True) + "\n")
+        return True
+
+    # -- queries ---------------------------------------------------------
+    def of_kind(self, *kinds: str) -> List[dict]:
+        wanted = set(kinds)
+        return [e for e in self.events if e["kind"] in wanted]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    # -- serialization ---------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(event, sort_keys=True) + "\n" for event in self.events
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl())
+
+    @staticmethod
+    def load_jsonl(text: str) -> List[dict]:
+        return [
+            json.loads(line) for line in text.splitlines() if line.strip()
+        ]

@@ -1,0 +1,160 @@
+"""Rendering of telemetry: mesh heatmaps (ASCII/CSV) and phase tables.
+
+The heatmaps are the paper's qualitative story made visible: per-tile
+access pressure, per-LLC-bank hit locality, per-MC request skew and
+per-link NoC utilization, drawn over the mesh with region boundaries so
+the R1..R9 structure of Figure 6 is recognizable at a glance.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.report import format_table
+from repro.noc.topology import Mesh2D
+from repro.noc.visualize import render_link_utilization, render_node_values
+
+from .spatial import SpatialAccumulators
+from .telemetry import Telemetry
+
+HEATMAP_METRICS = (
+    "tile",      # per-tile accesses issued (L1 accesses)
+    "l1miss",    # per-tile L1 misses (traffic sources)
+    "touch",     # per-bank home-address touches (data placement)
+    "bank",      # per-bank L1-miss requests
+    "bankhit",   # per-bank LLC hits (CAI locality)
+    "mc",        # per-MC off-chip requests (rendered at MC nodes)
+    "mcqueue",   # per-MC cumulative queueing cycles
+    "link",      # per-link flits, folded to flits leaving each node
+)
+
+
+def _node_values(
+    spatial: SpatialAccumulators, mesh: Mesh2D, metric: str
+) -> Dict[int, float]:
+    if metric == "tile":
+        values = spatial.tile_accesses
+    elif metric == "l1miss":
+        values = spatial.tile_l1_misses
+    elif metric == "touch":
+        values = spatial.bank_touches
+    elif metric == "bank":
+        values = spatial.bank_requests
+    elif metric == "bankhit":
+        values = spatial.bank_hits
+    elif metric == "link":
+        values = spatial.node_link_load()
+    elif metric in ("mc", "mcqueue"):
+        source = (
+            spatial.mc_requests if metric == "mc" else spatial.mc_queue_delay
+        )
+        return {
+            mesh.mc_node(i): float(source[i]) for i in range(spatial.num_mcs)
+        }
+    else:
+        raise ValueError(
+            f"unknown heatmap metric {metric!r}; one of {HEATMAP_METRICS}"
+        )
+    return {node: float(values[node]) for node in range(len(values))}
+
+
+def render_heatmap(
+    spatial: SpatialAccumulators,
+    mesh: Mesh2D,
+    metric: str,
+    region_w: int = 0,
+    region_h: int = 0,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII mesh heatmap of one metric, region boundaries included."""
+    values = _node_values(spatial, mesh, metric)
+    peak = max(values.values(), default=0.0)
+    width = max(5, len(f"{int(peak)}") + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        render_node_values(
+            mesh,
+            values,
+            cell_width=width,
+            fmt="{:" + str(width - 1) + ".0f}",
+            region_w=region_w,
+            region_h=region_h,
+        )
+    )
+    total = sum(values.values())
+    lines.append(
+        f"total {int(total)}, peak {int(peak)}"
+        + (f", peak/mean {peak * len(values) / total:.2f}x" if total else "")
+    )
+    if metric == "link" and spatial.link_flits:
+        lines.append(render_link_utilization(mesh, spatial.link_flits))
+    return "\n".join(lines)
+
+
+def heatmap_csv(
+    spatial: SpatialAccumulators, mesh: Mesh2D, metric: str
+) -> str:
+    """CSV form: ``node,x,y,value`` rows (links: ``src,dst,flits``)."""
+    out = io.StringIO()
+    if metric == "link":
+        out.write("src,dst,src_x,src_y,dst_x,dst_y,flits\n")
+        for (src, dst), flits in spatial.link_matrix():
+            sx, sy = mesh.coord(src)
+            dx, dy = mesh.coord(dst)
+            out.write(f"{src},{dst},{sx},{sy},{dx},{dy},{flits}\n")
+        return out.getvalue()
+    values = _node_values(spatial, mesh, metric)
+    out.write("node,x,y,value\n")
+    for node in sorted(values):
+        x, y = mesh.coord(node)
+        out.write(f"{node},{x},{y},{int(values[node])}\n")
+    return out.getvalue()
+
+
+def render_phase_table(telemetry: Telemetry, title: str = "phase profile") -> str:
+    rows = telemetry.phase_rows()
+    if not rows:
+        return f"{title}: (no phases recorded)"
+    return format_table(
+        ["phase", "calls", "seconds", "share %"],
+        rows,
+        title=title,
+        float_fmt="{:.4f}",
+    )
+
+
+def render_histograms(telemetry: Telemetry) -> str:
+    if not telemetry.histograms:
+        return "(no histograms recorded)"
+    rows = []
+    for name, hist in sorted(telemetry.histograms.items()):
+        d = hist.as_dict()
+        rows.append([
+            name, d["total"], d["mean"], d["min"], d["p50"], d["p90"],
+            d["p99"], d["max"],
+        ])
+    return format_table(
+        ["histogram", "n", "mean", "min", "p50", "p90", "p99", "max"],
+        rows,
+        title="distributions",
+        float_fmt="{:.2f}",
+    )
+
+
+def render_manifest(manifest: Optional[dict]) -> str:
+    if not manifest:
+        return "(no manifest)"
+    lines = ["run manifest", "============"]
+    for key in sorted(manifest):
+        value = manifest[key]
+        if key == "phase_seconds" and isinstance(value, dict):
+            for phase, seconds in sorted(value.items()):
+                lines.append(f"  phase {phase}: {seconds:.4f}s")
+            continue
+        lines.append(f"  {key}: {value}")
+    return "\n".join(lines)

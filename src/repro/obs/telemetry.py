@@ -1,0 +1,289 @@
+"""The telemetry hub: counters, histograms, and nested phase timers.
+
+One :class:`Telemetry` instance accompanies one run (or one experiment).
+It is deliberately *pull*-based and zero-dependency: instrumentation sites
+hold a reference (or ``None``) and record into plain dicts/arrays; nothing
+is rendered until a CLI surface (``repro profile`` / ``repro heatmap``) or
+a report asks for it.
+
+Cost model
+----------
+Telemetry is opt-in.  Components treat an absent (``None``) or disabled
+hub as "off" and cache that decision once, so the simulator's hot paths
+(the bulk L1-hit filter, the per-packet network transfer) carry at most a
+predicate that was hoisted out of the loop.  The perf-harness guard
+(``benchmarks/test_perf_telemetry_guard.py``) pins the disabled-mode
+overhead below 2%.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .events import EventStream
+from .spatial import SpatialAccumulators
+
+
+@dataclass
+class PhaseRecord:
+    """Accumulated wall time of one (possibly nested) phase.
+
+    ``depth`` is the nesting level the phase was recorded at (1 =
+    top-level).  Phase *names* may themselves contain dots ("sim.cold"),
+    so nesting is tracked by the timer stack, not parsed from the path.
+    """
+
+    name: str
+    seconds: float = 0.0
+    calls: int = 0
+    depth: int = 1
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+
+class Histogram:
+    """Exact-value histogram over non-negative integers.
+
+    The simulator's distributions (packet latencies, hop counts, stall
+    cycles) are small integers with heavy repetition, so an exact
+    ``value -> count`` table is both lossless and compact; percentiles are
+    computed from the sorted value table on demand.  ``record_many``
+    accepts a numpy array and bins it with one ``np.unique`` pass, so bulk
+    paths never loop per sample.
+    """
+
+    __slots__ = ("name", "_counts")
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._counts: Dict[int, int] = {}
+
+    # -- recording -------------------------------------------------------
+    def record(self, value: int, count: int = 1) -> None:
+        value = int(value)
+        self._counts[value] = self._counts.get(value, 0) + count
+
+    def record_many(self, values: np.ndarray) -> None:
+        if len(values) == 0:
+            return
+        uniq, counts = np.unique(np.asarray(values), return_counts=True)
+        for v, c in zip(uniq.tolist(), counts.tolist()):
+            self._counts[int(v)] = self._counts.get(int(v), 0) + int(c)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    @property
+    def sum(self) -> int:
+        return sum(v * c for v, c in self._counts.items())
+
+    @property
+    def mean(self) -> float:
+        total = self.total
+        return self.sum / total if total else 0.0
+
+    @property
+    def min(self) -> int:
+        return min(self._counts) if self._counts else 0
+
+    @property
+    def max(self) -> int:
+        return max(self._counts) if self._counts else 0
+
+    def percentile(self, p: float) -> int:
+        """Value at the ``p``-th percentile (nearest-rank, p in [0, 100])."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        total = self.total
+        if total == 0:
+            return 0
+        rank = max(1, int(np.ceil(p / 100.0 * total)))
+        seen = 0
+        for value in sorted(self._counts):
+            seen += self._counts[value]
+            if seen >= rank:
+                return value
+        return self.max  # pragma: no cover - rank <= total by construction
+
+    def items(self) -> List:
+        return sorted(self._counts.items())
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total": self.total,
+            "mean": round(self.mean, 3),
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return self._counts == other._counts
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.total}, mean={self.mean:.2f})"
+
+
+class Telemetry:
+    """Per-run observability hub.
+
+    ``enabled=False`` builds a hub that every attachment point treats as
+    absent -- handy for keeping call sites uniform while paying nothing.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        events: Optional[EventStream] = None,
+    ):
+        self.enabled = enabled
+        self.events = events if events is not None else EventStream(
+            level="decisions" if enabled else "off"
+        )
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self.phases: Dict[str, PhaseRecord] = {}
+        self.spatial: Optional[SpatialAccumulators] = None
+        self.manifest: Optional[dict] = None
+        self._phase_stack: List[str] = []
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        return cls(enabled=False)
+
+    # -- counters --------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    # -- histograms ------------------------------------------------------
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram (created on first use).
+
+        Hot instrumentation sites should call this once outside their loop
+        and keep the returned object.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = Histogram(name)
+            self.histograms[name] = hist
+        return hist
+
+    # -- spatial ---------------------------------------------------------
+    def ensure_spatial(self, num_nodes: int, num_mcs: int) -> SpatialAccumulators:
+        """The run's spatial accumulators, sized for one machine."""
+        if self.spatial is None:
+            self.spatial = SpatialAccumulators(num_nodes, num_mcs)
+        elif (
+            self.spatial.num_nodes != num_nodes
+            or self.spatial.num_mcs != num_mcs
+        ):
+            raise ValueError(
+                "telemetry hub already holds spatial accumulators of a "
+                "different machine shape; use one Telemetry per machine"
+            )
+        return self.spatial
+
+    # -- phase timers ----------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase; nested phases accumulate under dotted paths."""
+        if not self.enabled:
+            yield
+            return
+        self._phase_stack.append(name)
+        path = ".".join(self._phase_stack)
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            record = self.phases.get(path)
+            if record is None:
+                record = PhaseRecord(path, depth=len(self._phase_stack))
+                self.phases[path] = record
+            record.add(elapsed)
+            self._phase_stack.pop()
+            self.events.emit(
+                "phase.end",
+                level="debug",
+                phase=path,
+                seconds=round(elapsed, 6),
+            )
+
+    def profiled(self, name: Optional[str] = None) -> Callable:
+        """Decorator form of :meth:`phase`."""
+
+        def wrap(func: Callable) -> Callable:
+            phase_name = name or func.__qualname__
+
+            @functools.wraps(func)
+            def inner(*args, **kwargs):
+                with self.phase(phase_name):
+                    return func(*args, **kwargs)
+
+            return inner
+
+        return wrap
+
+    def phase_seconds(self) -> Dict[str, float]:
+        return {path: rec.seconds for path, rec in self.phases.items()}
+
+    def phase_rows(self) -> List[List[object]]:
+        """``[phase, calls, seconds, share%]`` rows for table rendering.
+
+        The share is of the total *top-level* time, so nested phases read
+        as a breakdown rather than double-counting the total.
+        """
+        top_total = sum(
+            rec.seconds for rec in self.phases.values() if rec.depth == 1
+        )
+        rows: List[List[object]] = []
+        for path in sorted(self.phases):
+            rec = self.phases[path]
+            share = 100.0 * rec.seconds / top_total if top_total else 0.0
+            rows.append([path, rec.calls, round(rec.seconds, 4), round(share, 1)])
+        return rows
+
+    # -- snapshot --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything the hub holds, as JSON-ready plain data."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in sorted(self.histograms.items())
+            },
+            "phases": {
+                path: {"seconds": round(rec.seconds, 6), "calls": rec.calls}
+                for path, rec in sorted(self.phases.items())
+            },
+            "spatial": self.spatial.as_dict() if self.spatial else None,
+            "manifest": self.manifest,
+        }
+
+
+def profiled(telemetry: Optional[Telemetry], name: str) -> Callable:
+    """Module-level ``@profiled(tele, "name")`` that tolerates ``tele=None``."""
+
+    def wrap(func: Callable) -> Callable:
+        if telemetry is None or not telemetry.enabled:
+            return func
+        return telemetry.profiled(name)(func)
+
+    return wrap

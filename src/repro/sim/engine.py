@@ -16,10 +16,13 @@ every core at the end of its trip.
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.cache.snuca import LLCOrganization
 
 from repro.ir.iterspace import IterationSet
 
@@ -100,6 +103,19 @@ class ExecutionEngine:
         self.barrier_cost = barrier_cost
         self.mode = mode
         self.observations: Dict[str, Dict[Tuple[int, int], ObservedSet]] = {}
+        # Telemetry attachment points, hoisted out of the chunk loops; all
+        # None when the machine carries no telemetry (zero hot-path cost).
+        telemetry = machine.telemetry
+        self._spatial = machine.spatial
+        self._events = (
+            telemetry.events
+            if telemetry is not None and telemetry.events.enabled
+            else None
+        )
+        self._shared_llc = (
+            machine.snuca.organization is LLCOrganization.SHARED
+        )
+        self._warned_observer_fallback = False
 
     # ------------------------------------------------------------------
     def run(self, plans: List[TripPlan], start_cycle: int = 0) -> RunStats:
@@ -115,11 +131,23 @@ class ExecutionEngine:
         stats = RunStats()
         num_cores = self.machine.mesh.num_nodes
         clock = [start_cycle] * num_cores
-        for plan in plans:
+        events = self._events
+        for trip_index, plan in enumerate(plans):
+            trip_start = max(clock)
             clock = self._run_trip(plan, clock, stats)
             if plan.overhead_cycles:
                 clock = [t + plan.overhead_cycles for t in clock]
                 stats.overhead_cycles += plan.overhead_cycles
+            if events is not None:
+                events.emit(
+                    "engine.trip",
+                    level="debug",
+                    trip=trip_index,
+                    observe_label=plan.observe_label,
+                    start_cycle=trip_start,
+                    end_cycle=max(clock),
+                    overhead_cycles=plan.overhead_cycles,
+                )
         stats.execution_cycles = max(clock) if clock else 0
         self.machine.fill_stats(stats)
         return stats
@@ -129,6 +157,7 @@ class ExecutionEngine:
         self, plan: TripPlan, clock: List[int], stats: RunStats
     ) -> List[int]:
         num_cores = self.machine.mesh.num_nodes
+        events = self._events
         for nest_index in range(len(self.trace.instance.program.nests)):
             schedule = plan.schedules.get(nest_index)
             if schedule is None:
@@ -137,6 +166,14 @@ class ExecutionEngine:
             clock = self._run_nest(
                 nest_index, schedule, start, num_cores, stats, plan.observe_label
             )
+            if events is not None:
+                events.emit(
+                    "engine.nest",
+                    level="debug",
+                    nest=nest_index,
+                    start_cycle=start,
+                    end_cycle=max(clock),
+                )
         return clock
 
     def _run_nest(
@@ -155,10 +192,24 @@ class ExecutionEngine:
         iteration_sets = self.trace.iteration_sets[nest_index]
         sets_by_id = {s.set_id: s for s in iteration_sets}
         # The bulk path cannot feed a per-access observer; fall back.
+        use_fast = self.mode == "fast" and self.machine.observer is None
+        if (
+            self.mode == "fast"
+            and self.machine.observer is not None
+            and not self._warned_observer_fallback
+        ):
+            self._warned_observer_fallback = True
+            warnings.warn(
+                "engine_mode='fast' with an attached machine.observer: "
+                "falling back to the scalar reference path (the bulk path "
+                "produces no per-access timings to report).  Spatial "
+                "telemetry (repro.obs) records per-tile/bank/MC/link "
+                "traffic without forcing this fallback.",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         run_chunk = (
-            self._run_chunk_fast
-            if self.mode == "fast" and self.machine.observer is None
-            else self._run_chunk_reference
+            self._run_chunk_fast if use_fast else self._run_chunk_reference
         )
 
         # Per-core queue of set traces, in set-id order.
@@ -220,6 +271,14 @@ class ExecutionEngine:
         addresses = trace.addresses
         writes = trace.writes
         n_refs = trace.refs_per_iteration
+        if self._spatial is not None:
+            # Same accounting as the bulk path: translate the chunk stream
+            # up front (first-touch faults happen in stream order, exactly
+            # as the scalar walk below would trigger them -- re-translation
+            # is idempotent) and bin its home banks in one pass.
+            flat = np.ascontiguousarray(addresses[k:limit]).reshape(-1)
+            paddrs = self.machine.translate_batch(flat)
+            self._record_touches(core, paddrs)
         while k < limit:
             t += compute
             row = addresses[k]
@@ -275,7 +334,15 @@ class ExecutionEngine:
         hi = limit * n_refs
         vaddrs = trace.flat_addresses[lo:hi]
         writes = trace.flat_writes[lo:hi]
-        cursor = machine.access_batch(core, vaddrs, writes)
+        if self._spatial is not None:
+            # Spatial telemetry rides the batched stream natively: one bulk
+            # translation (reused by access_batch) and one bincount; the
+            # L1-hit majority never enters Python per reference.
+            paddrs = machine.translate_batch(vaddrs)
+            self._record_touches(core, paddrs)
+            cursor = machine.access_batch(core, vaddrs, writes, paddrs=paddrs)
+        else:
+            cursor = machine.access_batch(core, vaddrs, writes)
         total = hi - lo
         pos = 0
         while pos < total:
@@ -312,6 +379,20 @@ class ExecutionEngine:
             pos += 1
         stats.iterations_executed += limit - k
         return t
+
+    def _record_touches(self, core: int, paddrs: np.ndarray) -> None:
+        """Bin one chunk's home banks into the spatial accumulators.
+
+        Shared LLC: the S-NUCA home of each address.  Private LLC: every
+        address homes in the issuing core's own bank, so the whole chunk
+        folds to one scalar add.
+        """
+        if self._shared_llc:
+            self._spatial.record_bank_touches(
+                self.machine.home_banks_batch(paddrs)
+            )
+        else:
+            self._spatial.bank_touches[core] += len(paddrs)
 
     def _observed_entry(
         self, label: str, nest_index: int, set_id: int

@@ -54,9 +54,22 @@ Observer = Callable[[int, int, bool, AccessTiming], None]
 
 
 class Manycore:
-    """One simulated machine instance."""
+    """One simulated machine instance.
 
-    def __init__(self, config: SystemConfig, translation: Optional[object] = None):
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) attaches the
+    observability layer: the machine allocates the run's spatial
+    accumulators, wires the network's per-link/per-packet recording, and
+    :meth:`collect_spatial` snapshots per-component counters into them.
+    Unlike the per-access :attr:`observer` callback, telemetry never forces
+    the engine off its batched fast path.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        translation: Optional[object] = None,
+        telemetry: Optional[object] = None,
+    ):
         self.config = config
         self.mesh = config.build_mesh()
         self.layout = config.layout()
@@ -86,6 +99,15 @@ class Manycore:
         self.translation = translation or IdentityTranslation(self.layout)
         self.observer: Optional[Observer] = None
         self._line_mask = ~(config.l2_line_bytes - 1)
+        if telemetry is not None and not getattr(telemetry, "enabled", True):
+            telemetry = None  # a disabled hub is the same as no hub
+        self.telemetry = telemetry
+        self.spatial = None
+        if telemetry is not None:
+            self.spatial = telemetry.ensure_spatial(
+                self.mesh.num_nodes, config.num_mcs
+            )
+            self.network.set_telemetry(telemetry)
 
     @staticmethod
     def _build_network(config: SystemConfig) -> BaseNetwork:
@@ -291,6 +313,41 @@ class Manycore:
             self.observer(tag, vaddr, is_write, timing)
 
     # ------------------------------------------------------------------
+    def home_banks_batch(self, paddrs: np.ndarray) -> np.ndarray:
+        """Vectorized home-bank indices of a physical address stream.
+
+        Shared LLC: the S-NUCA address-determined bank.  Private LLC: every
+        address a core touches homes in the core's own bank, so the stream's
+        home distribution is meaningless per address -- callers pass the
+        issuing core instead (the engine handles that fold).
+        """
+        return self.distribution.bank_of_batch(paddrs)
+
+    def collect_spatial(self):
+        """Refresh and return the run's spatial accumulators.
+
+        Per-component counters (per-node L1, per-bank LLC, per-MC) are
+        snapshots taken here; live stream accumulators (bank touches, link
+        flits) were recorded as the run executed.  Requires telemetry to
+        have been attached at construction.
+        """
+        spatial = self.spatial
+        if spatial is None:
+            raise RuntimeError(
+                "no telemetry attached; pass telemetry= to Manycore()"
+            )
+        l1_acc, l1_hit = self.hierarchy.per_node_l1_stats()
+        spatial.tile_accesses[:] = l1_acc
+        spatial.tile_l1_hits[:] = l1_hit
+        bank_acc, bank_hit = self.hierarchy.per_bank_llc_stats()
+        spatial.bank_requests[:] = bank_acc
+        spatial.bank_hits[:] = bank_hit
+        for i, mc in enumerate(self.mcs):
+            spatial.mc_requests[i] = mc.stats.requests
+            spatial.mc_queue_delay[i] = mc.stats.total_queue_delay
+        return spatial
+
+    # ------------------------------------------------------------------
     def fill_stats(self, stats: RunStats) -> None:
         """Copy component counters into a :class:`RunStats`."""
         net = self.network.stats
@@ -313,3 +370,8 @@ class Manycore:
             self.network.reset()
         else:  # pragma: no cover - all concrete networks define reset
             self.network.reset_stats()
+        if self.spatial is not None:
+            # Live stream accumulators follow the component counters; the
+            # snapshot fields are refreshed by collect_spatial anyway.
+            self.spatial.bank_touches[:] = 0
+            self.spatial.link_flits.clear()

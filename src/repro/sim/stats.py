@@ -37,6 +37,13 @@ class RunStats:
     overhead_cycles: int = 0
     iterations_executed: int = 0
 
+    # The run manifest (repro.obs.build_manifest) is attached as a plain
+    # instance attribute, NOT a dataclass field: manifests carry wall times
+    # and host identity, which must stay out of dataclasses.asdict() so
+    # field-identical comparisons (equivalence suite, golden snapshots)
+    # keep meaning "same simulated behaviour".
+    manifest = None
+
     @property
     def avg_network_latency(self) -> float:
         if self.network_packets == 0:

@@ -1,0 +1,112 @@
+"""Unit tests for the structured event stream: levels, sampling, JSONL."""
+
+import io
+import math
+
+import pytest
+
+from repro.obs import LEVELS, EventStream
+
+
+class TestLevels:
+    def test_level_order(self):
+        assert LEVELS == ("off", "decisions", "debug")
+
+    def test_off_drops_everything(self):
+        s = EventStream(level="off")
+        assert not s.enabled
+        assert not s.emit("x")
+        assert not s.emit("x", level="debug")
+        assert len(s) == 0
+
+    def test_decisions_drops_debug(self):
+        s = EventStream(level="decisions")
+        assert s.emit("keep")
+        assert not s.emit("drop", level="debug")
+        assert [e["kind"] for e in s.events] == ["keep"]
+
+    def test_debug_keeps_all(self):
+        s = EventStream(level="debug")
+        assert s.emit("a")
+        assert s.emit("b", level="debug")
+        assert len(s) == 2
+
+    def test_unknown_levels_rejected(self):
+        with pytest.raises(ValueError):
+            EventStream(level="verbose")
+        with pytest.raises(ValueError):
+            EventStream().emit("x", level="verbose")
+
+
+class TestSampling:
+    def test_sample_bounds_validated(self):
+        with pytest.raises(ValueError):
+            EventStream(sample=1.5)
+
+    @pytest.mark.parametrize("sample", [0.1, 0.25, 0.5, 1.0])
+    def test_sampling_keeps_expected_count(self, sample):
+        s = EventStream(sample=sample)
+        n = 1000
+        kept = sum(s.emit("k", i=i) for i in range(n))
+        # floor-difference sampling keeps exactly floor(n * sample) of n.
+        assert kept == math.floor(n * sample)
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            s = EventStream(sample=0.3)
+            for i in range(100):
+                s.emit("k", i=i)
+            return [e["i"] for e in s.events]
+
+        assert run() == run()
+
+    def test_sampling_is_per_kind(self):
+        s = EventStream(sample=0.5)
+        for i in range(10):
+            s.emit("a", i=i)
+            s.emit("b", i=i)
+        assert len(s.of_kind("a")) == 5
+        assert len(s.of_kind("b")) == 5
+
+    def test_sample_zero_drops_all(self):
+        s = EventStream(sample=0.0)
+        assert not s.emit("x")
+        assert len(s) == 0
+
+
+class TestSerialization:
+    def test_seq_numbers_are_contiguous(self):
+        s = EventStream()
+        for i in range(5):
+            s.emit("k", i=i)
+        assert [e["seq"] for e in s.events] == list(range(5))
+
+    def test_jsonl_roundtrip(self):
+        s = EventStream()
+        s.emit("a", x=1)
+        s.emit("b", y="z")
+        loaded = EventStream.load_jsonl(s.to_jsonl())
+        assert loaded == s.events
+
+    def test_save(self, tmp_path):
+        s = EventStream()
+        s.emit("a", x=1)
+        path = tmp_path / "events.jsonl"
+        s.save(str(path))
+        assert EventStream.load_jsonl(path.read_text()) == s.events
+
+    def test_sink_tee(self):
+        sink = io.StringIO()
+        s = EventStream(sink=sink)
+        s.emit("a", x=1)
+        lines = sink.getvalue().splitlines()
+        assert len(lines) == 1
+        assert '"kind": "a"' in lines[0]
+
+    def test_of_kind_filters(self):
+        s = EventStream()
+        s.emit("a")
+        s.emit("b")
+        s.emit("a")
+        assert len(s.of_kind("a")) == 2
+        assert len(s.of_kind("a", "b")) == 3

@@ -1,0 +1,79 @@
+"""Unit tests for run manifests and the stable config hash."""
+
+import dataclasses
+import enum
+import json
+
+from repro.obs import build_manifest, config_digest, config_hash
+from repro.sim.config import DEFAULT_CONFIG
+
+
+class Color(enum.Enum):
+    RED = 1
+    BLUE = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class Inner:
+    n: int = 3
+
+
+@dataclasses.dataclass(frozen=True)
+class Outer:
+    name: str = "x"
+    color: Color = Color.RED
+    inner: Inner = Inner()
+    values: tuple = (1, 2)
+
+
+class TestConfigHash:
+    def test_equal_configs_hash_equal(self):
+        assert config_hash(Outer()) == config_hash(Outer())
+
+    def test_any_field_change_changes_hash(self):
+        base = config_hash(Outer())
+        assert config_hash(Outer(name="y")) != base
+        assert config_hash(Outer(color=Color.BLUE)) != base
+        assert config_hash(Outer(inner=Inner(n=4))) != base
+
+    def test_digest_is_json_ready_and_normalized(self):
+        digest = config_digest(Outer())
+        json.dumps(digest)  # must not raise
+        assert digest["color"] == "Color.RED"
+        assert digest["inner"] == {"n": 3}
+        assert digest["values"] == [1, 2]
+
+    def test_default_system_config_hashes(self):
+        h = config_hash(DEFAULT_CONFIG)
+        assert len(h) == 16
+        assert h == config_hash(DEFAULT_CONFIG)
+        assert h != config_hash(DEFAULT_CONFIG.private_llc())
+
+
+class TestBuildManifest:
+    def test_manifest_fields(self):
+        manifest = build_manifest(
+            DEFAULT_CONFIG,
+            seed=7,
+            workload="mxm",
+            mapping="la",
+            scale=0.5,
+            wall_seconds=1.23456789,
+            phase_seconds={"sim": 1.0, "compile": 0.2},
+            extra={"trips": 12},
+        )
+        assert manifest["config_hash"] == config_hash(DEFAULT_CONFIG)
+        assert manifest["seed"] == 7
+        assert manifest["workload"] == "mxm"
+        assert manifest["mapping"] == "la"
+        assert manifest["wall_seconds"] == 1.234568
+        assert manifest["phase_seconds"] == {"compile": 0.2, "sim": 1.0}
+        assert manifest["trips"] == 12
+        for key in ("version", "python", "platform", "host", "created_unix"):
+            assert key in manifest
+        json.dumps(manifest)  # JSON-ready
+
+    def test_optional_fields_omitted(self):
+        manifest = build_manifest(DEFAULT_CONFIG)
+        assert "wall_seconds" not in manifest
+        assert "phase_seconds" not in manifest

@@ -1,0 +1,117 @@
+"""Unit tests for the spatial accumulators and their invariant sweep."""
+
+import numpy as np
+import pytest
+
+from repro.obs import SpatialAccumulators
+from repro.sim.stats import RunStats
+
+
+def _consistent_pair():
+    """A spatial/stats pair whose totals reconcile by construction."""
+    spatial = SpatialAccumulators(num_nodes=4, num_mcs=2)
+    spatial.tile_accesses[:] = [10, 20, 30, 40]
+    spatial.tile_l1_hits[:] = [8, 15, 25, 32]
+    spatial.bank_requests[:] = [2, 5, 5, 8]   # the 20 L1 misses
+    spatial.bank_hits[:] = [1, 3, 4, 4]       # 12 LLC hits
+    spatial.mc_requests[:] = [5, 3]           # 8 LLC misses
+    spatial.record_bank_touches(
+        np.repeat(np.arange(4), [10, 20, 30, 40])
+    )
+    stats = RunStats(
+        l1_accesses=100, l1_hits=80,
+        llc_accesses=20, llc_hits=12,
+        dram_accesses=8,
+    )
+    return spatial, stats
+
+
+class TestRecording:
+    def test_bank_touches_bincount(self):
+        spatial = SpatialAccumulators(4, 2)
+        spatial.record_bank_touches(np.array([0, 2, 2, 3]))
+        spatial.record_bank_touches(np.array([2]))
+        assert spatial.bank_touches.tolist() == [1, 0, 3, 1]
+
+    def test_empty_batch_is_noop(self):
+        spatial = SpatialAccumulators(4, 2)
+        spatial.record_bank_touches(np.array([], dtype=np.int64))
+        assert spatial.bank_touches.sum() == 0
+
+    def test_record_link_accumulates(self):
+        spatial = SpatialAccumulators(4, 2)
+        spatial.record_link((0, 1), 5)
+        spatial.record_link((0, 1), 3)
+        spatial.record_link((1, 0), 2)
+        assert spatial.link_flits == {(0, 1): 8, (1, 0): 2}
+
+    def test_link_matrix_sorted_by_flits(self):
+        spatial = SpatialAccumulators(4, 2)
+        spatial.record_link((0, 1), 2)
+        spatial.record_link((2, 3), 9)
+        assert spatial.link_matrix() == [((2, 3), 9), ((0, 1), 2)]
+
+    def test_node_link_load_folds_to_source(self):
+        spatial = SpatialAccumulators(4, 2)
+        spatial.record_link((0, 1), 5)
+        spatial.record_link((0, 2), 2)
+        spatial.record_link((3, 0), 1)
+        assert spatial.node_link_load().tolist() == [7, 0, 0, 1]
+
+    def test_tile_l1_misses_derived(self):
+        spatial = SpatialAccumulators(2, 1)
+        spatial.tile_accesses[:] = [10, 6]
+        spatial.tile_l1_hits[:] = [7, 6]
+        assert spatial.tile_l1_misses.tolist() == [3, 0]
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            SpatialAccumulators(0, 1)
+
+
+class TestReconcile:
+    def test_consistent_pair_reconciles(self):
+        spatial, stats = _consistent_pair()
+        assert spatial.reconcile(stats) == []
+
+    def test_each_family_violation_detected(self):
+        spatial, stats = _consistent_pair()
+        spatial.tile_accesses[0] += 1
+        violations = spatial.reconcile(stats)
+        assert any("tile accesses" in v for v in violations)
+
+        spatial, stats = _consistent_pair()
+        spatial.mc_requests[0] += 1
+        violations = spatial.reconcile(stats)
+        assert any("per-MC" in v for v in violations)
+
+        spatial, stats = _consistent_pair()
+        spatial.bank_touches[0] += 1
+        violations = spatial.reconcile(stats)
+        assert any("bank touches" in v for v in violations)
+
+    def test_bank_touch_check_skipped_when_not_recorded(self):
+        """Runs without engine-level recording (e.g. a bare machine test)
+        must not fail the sweep on the untouched live accumulator."""
+        spatial, stats = _consistent_pair()
+        spatial.bank_touches[:] = 0
+        assert spatial.reconcile(stats) == []
+
+
+class TestSerialization:
+    def test_as_dict_roundtrips_json(self):
+        import json
+
+        spatial, _ = _consistent_pair()
+        spatial.record_link((0, 1), 4)
+        d = spatial.as_dict()
+        json.dumps(d)
+        assert d["link_flits"] == {"0->1": 4}
+        assert d["tile_accesses"] == [10, 20, 30, 40]
+
+    def test_equality_by_contents(self):
+        a, _ = _consistent_pair()
+        b, _ = _consistent_pair()
+        assert a == b
+        b.record_link((0, 1), 1)
+        assert a != b

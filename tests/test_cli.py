@@ -28,6 +28,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure", "fig99"])
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "mxm"])
+        assert args.mapping == "la"
+        assert args.level == "decisions"
+        assert args.events == ""
+
+    def test_heatmap_defaults(self):
+        args = build_parser().parse_args(["heatmap", "mxm"])
+        assert args.metric == "mc"
+        assert args.format == "ascii"
+
+    def test_heatmap_rejects_unknown_metric(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["heatmap", "mxm", "--metric", "vibes"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -51,3 +66,45 @@ class TestCommands:
         ) == 0
         out = capsys.readouterr().out
         assert "execution time reduction" in out
+        # The report also says where the optimized run's wall time went.
+        assert "phase profile" in out
+        assert "run manifest" in out
+        assert "config_hash" in out
+
+    def test_profile_small(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main([
+            "profile", "mxm", "--scale", "0.25", "--events", str(events)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "phase profile" in out
+        assert "sim.cold" in out and "sim.steady" in out
+        assert "noc.packet_latency" in out
+        assert "config_hash" in out
+        from repro.obs import EventStream
+
+        loaded = EventStream.load_jsonl(events.read_text())
+        assert any(e["kind"] == "mapper.assign" for e in loaded)
+
+    def test_profile_irregular_inspector_phases(self, capsys):
+        assert main(["profile", "nbf", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "sim.inspect" in out and "sim.migrate" in out
+
+    @pytest.mark.parametrize("metric", ["tile", "mc", "bank", "link"])
+    def test_heatmap_ascii(self, capsys, metric):
+        assert main([
+            "heatmap", "mxm", "--scale", "0.25", "--metric", metric
+        ]) == 0
+        out = capsys.readouterr().out
+        assert f"-- {metric}" in out
+        assert "total" in out and "peak" in out
+
+    def test_heatmap_all_csv(self, capsys):
+        assert main([
+            "heatmap", "mxm", "--scale", "0.25", "--metric", "all",
+            "--format", "csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "node,x,y,value" in out
+        assert "src,dst" in out  # the link metric's CSV header
