@@ -1,0 +1,141 @@
+"""Static verification of parallel safety and mapping legality.
+
+``repro.analyze`` runs *before* any simulation: it certifies (or refutes)
+every nest's ``parallel=True`` annotation with dependence analysis
+(:mod:`.parallel`, built on the direction-vector / Banerjee machinery of
+:mod:`.banerjee`) and validates the invariants the mapping pipeline
+assumes about the machine description (:mod:`.invariants`).  Findings are
+:class:`Diagnostic` objects with stable rule ids, aggregated into an
+:class:`AnalysisReport` that renders as text or versioned JSON.
+
+Entry points:
+
+* ``repro analyze`` (CLI) -- reports over workloads and/or a config;
+* :func:`analyze_run` / :func:`analyze_workload` / :func:`analyze_config`
+  -- the same checks as a library call;
+* :func:`gate` -- raise :class:`AnalysisError` on error findings; wired
+  into :class:`repro.core.pipeline.LocationAwareCompiler` and
+  :func:`repro.experiments.harness.run_workload` as an opt-in pre-run
+  gate (``analyze_gate=True``).
+
+The rule catalogue lives in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.sim.config import SystemConfig
+from repro.workloads.base import Workload
+
+from .banerjee import (
+    DIRECTIONS,
+    DirectionVector,
+    LoopBound,
+    concrete_bounds,
+    direction_feasible,
+    feasible_carried_directions,
+    render_directions,
+)
+from .diagnostics import (
+    SCHEMA,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+from .fixtures import FIXTURES, build_fixture, fixture_names
+from .framework import (
+    AnalysisContext,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+    rule_catalogue,
+    run_rules,
+)
+from .invariants import check_set_affinities
+from .parallel import (
+    CertStatus,
+    NestCertificate,
+    PairEvidence,
+    PairKind,
+    certify_nest,
+    certify_program,
+)
+
+__all__ = [
+    "SCHEMA",
+    "AnalysisContext",
+    "AnalysisError",
+    "AnalysisReport",
+    "CertStatus",
+    "DIRECTIONS",
+    "Diagnostic",
+    "DirectionVector",
+    "FIXTURES",
+    "LoopBound",
+    "NestCertificate",
+    "PairEvidence",
+    "PairKind",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_config",
+    "analyze_run",
+    "analyze_workload",
+    "build_fixture",
+    "certify_nest",
+    "certify_program",
+    "check_set_affinities",
+    "concrete_bounds",
+    "direction_feasible",
+    "feasible_carried_directions",
+    "fixture_names",
+    "gate",
+    "get_rule",
+    "register_rule",
+    "render_directions",
+    "rule_catalogue",
+    "run_rules",
+]
+
+
+def analyze_run(
+    workload: Optional[Workload] = None,
+    config: Optional[SystemConfig] = None,
+    params: Optional[Mapping[str, int]] = None,
+) -> AnalysisReport:
+    """Run every applicable rule over a workload/config pair."""
+    ctx = AnalysisContext(
+        config=config, workload=workload, params=dict(params or {})
+    )
+    return run_rules(ctx)
+
+
+def analyze_workload(
+    workload: Workload, params: Optional[Mapping[str, int]] = None
+) -> AnalysisReport:
+    """Workload-only analysis (parallel-safety certification)."""
+    return analyze_run(workload=workload, params=params)
+
+
+def analyze_config(config: SystemConfig) -> AnalysisReport:
+    """Config-only analysis (region coverage, MC placement, geometry)."""
+    return analyze_run(config=config)
+
+
+def gate(
+    workload: Optional[Workload] = None,
+    config: Optional[SystemConfig] = None,
+    params: Optional[Mapping[str, int]] = None,
+) -> AnalysisReport:
+    """Run the analysis and raise :class:`AnalysisError` on any error.
+
+    The report is returned on success so callers can log warnings; on
+    failure the raised error carries it as ``exc.report``.
+    """
+    report = analyze_run(workload=workload, config=config, params=params)
+    if not report.ok:
+        raise AnalysisError(report)
+    return report

@@ -1,0 +1,200 @@
+"""Machine-readable diagnostics emitted by the static verification pass.
+
+Every finding of :mod:`repro.analyze` is a :class:`Diagnostic`: a stable
+rule id (``PAR002``, ``AFF001``, ...), a :class:`Severity`, the subject it
+is about (a nest, a config field, an affinity vector) and a free-form
+``details`` mapping with the evidence (distance vectors, offending values).
+Diagnostics aggregate into an :class:`AnalysisReport`, which renders as
+text for humans and as versioned JSON (``SCHEMA``) for CI artifacts.
+
+The contract mirrors what compiler drivers do with their ``-W``/``-E``
+machinery: *error* findings make the analysis fail (exit code 1, or an
+:class:`AnalysisError` from the pre-run gate); *warning* findings document
+assumptions the toolchain is trusting; *info* findings are positive
+certificates.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional
+
+SCHEMA = "repro.analyze/1"
+"""Version tag stamped into every JSON report."""
+
+
+class Severity(enum.Enum):
+    """Finding severities, ordered from benign to fatal."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+
+_SEVERITY_RANK: Dict[Severity, int] = {
+    Severity.INFO: 0,
+    Severity.WARNING: 1,
+    Severity.ERROR: 2,
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a rule id, a severity, a subject, and evidence."""
+
+    rule_id: str
+    severity: Severity
+    subject: str
+    message: str
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.severity.value:>7}  {self.rule_id}  "
+            f"[{self.subject}] {self.message}"
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Diagnostic({self.rule_id}, {self.severity.value}, "
+            f"{self.subject!r}, {self.message!r})"
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """All diagnostics of one analysis run over one subject."""
+
+    subject: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    # -- collection -----------------------------------------------------
+    def add(self, diagnostic: Diagnostic) -> None:
+        self.diagnostics.append(diagnostic)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def merge(self, other: "AnalysisReport") -> None:
+        """Fold another report's findings (and meta) into this one."""
+        self.diagnostics.extend(other.diagnostics)
+        for key, value in other.meta.items():
+            self.meta.setdefault(key, value)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- queries --------------------------------------------------------
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding exists."""
+        return not self.errors
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def counts(self) -> Dict[str, int]:
+        out = {s.value: 0 for s in Severity}
+        for d in self.diagnostics:
+            out[d.severity.value] += 1
+        return out
+
+    @property
+    def exit_code(self) -> int:
+        """CLI contract: 0 when clean of errors, 1 otherwise."""
+        return 0 if self.ok else 1
+
+    # -- rendering ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "subject": self.subject,
+            "summary": {**self.counts(), "ok": self.ok},
+            "meta": dict(self.meta),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self, verbose: bool = False) -> str:
+        """Human-readable summary; ``verbose`` includes info findings."""
+        lines = [f"analysis of {self.subject or '<unnamed>'}"]
+        shown = [
+            d
+            for d in self.diagnostics
+            if verbose or d.severity is not Severity.INFO
+        ]
+        for d in shown:
+            lines.append("  " + d.render())
+        counts = self.counts()
+        lines.append(
+            f"  {counts['error']} error(s), {counts['warning']} warning(s), "
+            f"{counts['info']} info -> "
+            + ("OK" if self.ok else "ILLEGAL")
+        )
+        return "\n".join(lines)
+
+
+class AnalysisError(ValueError):
+    """Raised by the pre-run gate when error-severity findings exist.
+
+    Carries the full :class:`AnalysisReport` so callers can inspect (or
+    serialize) the evidence that stopped the run.
+    """
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        errors = report.errors
+        head = "; ".join(
+            f"{d.rule_id} [{d.subject}] {d.message}" for d in errors[:3]
+        )
+        more = f" (+{len(errors) - 3} more)" if len(errors) > 3 else ""
+        super().__init__(
+            f"static analysis found {len(errors)} error(s): {head}{more}"
+        )

@@ -1,0 +1,136 @@
+"""Deliberately-flawed workloads exercising each analyzer verdict.
+
+The bundled benchmark suite is (by design) clean, so these fixtures are
+the analyzer's negative test corpus -- and they are shipped, not hidden
+in the test tree, because ``repro analyze --fixture carried-stencil`` is
+the documented way to see a failing report and a nonzero exit code
+without editing any source.
+
+* ``carried-stencil``  -- a recurrence (``A[i] = f(A[i-1])``) annotated
+  parallel: a provable uniform loop-carried dependence (``PAR002``).
+* ``coupled-subscript`` -- write ``A[i+j]`` against read ``A[i]``: not
+  uniform, not refutable by the direction tests (``PAR004``).
+* ``reduction-sum``    -- ``Acc[i] += V[i][j]`` with ``j`` absent from
+  the write's subscripts (``PAR005``).
+* ``trusted-scatter``  -- an indirect scatter whose safety only the
+  annotation vouches for (``PAR003``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import Program
+from repro.ir.refs import scatter
+from repro.ir.symbolic import Idx, Param
+from repro.workloads.base import Workload
+
+I, J = Idx("i"), Idx("j")
+N = Param("N")
+
+
+def make_carried_stencil() -> Workload:
+    """First-order recurrence wrongly annotated parallel."""
+    A = declare("A", N)
+    nest = (
+        nest_builder("fixture.carried")
+        .loop("i", 1, N)
+        .reads(A(I - 1))
+        .writes(A(I))
+        .build()
+    )
+    return Workload(
+        name="fixture-carried-stencil",
+        program=Program(
+            "fixture-carried-stencil", (nest,), default_params={"N": 64}
+        ),
+        regular=True,
+        description="A[i] = f(A[i-1]) recurrence marked parallel (illegal)",
+    )
+
+
+def make_coupled_subscript() -> Workload:
+    """Anti-diagonal write against a streaming read: a genuine may-dep."""
+    A = declare("A", N)
+    B = declare("B", N)
+    nest = (
+        nest_builder("fixture.coupled")
+        .loop("i", 0, N)
+        .loop("j", 0, N)
+        .reads(A(I), B(J))
+        .writes(A(I + J))
+        .build()
+    )
+    return Workload(
+        name="fixture-coupled-subscript",
+        program=Program(
+            "fixture-coupled-subscript", (nest,), default_params={"N": 16}
+        ),
+        regular=True,
+        description="write A[i+j] vs read A[i]: undisprovable may-dependence",
+    )
+
+
+def make_reduction_sum() -> Workload:
+    """Row reduction whose write ignores the inner loop."""
+    V = declare("V", N, N)
+    Acc = declare("Acc", N)
+    nest = (
+        nest_builder("fixture.reduction")
+        .loop("i", 0, N)
+        .loop("j", 0, N)
+        .reads(V(I, J), Acc(I))
+        .writes(Acc(I))
+        .build()
+    )
+    return Workload(
+        name="fixture-reduction-sum",
+        program=Program(
+            "fixture-reduction-sum", (nest,), default_params={"N": 32}
+        ),
+        regular=True,
+        description="Acc[i] += V[i][j]: reduction-shaped write",
+    )
+
+
+def make_trusted_scatter() -> Workload:
+    """Indirect scatter: safety rests entirely on the annotation."""
+    X = declare("X", N)
+    idx = declare("idx", N)
+    nest = (
+        nest_builder("fixture.scatter")
+        .accesses(scatter(X, idx, I))
+        .loop("i", 0, N)
+        .build()
+    )
+    return Workload(
+        name="fixture-trusted-scatter",
+        program=Program(
+            "fixture-trusted-scatter", (nest,), default_params={"N": 64}
+        ),
+        regular=False,
+        description="X[idx[i]] = ...: compile-time-unanalyzable scatter",
+    )
+
+
+FIXTURES: Dict[str, Callable[[], Workload]] = {
+    "carried-stencil": make_carried_stencil,
+    "coupled-subscript": make_coupled_subscript,
+    "reduction-sum": make_reduction_sum,
+    "trusted-scatter": make_trusted_scatter,
+}
+
+
+def fixture_names() -> List[str]:
+    return sorted(FIXTURES)
+
+
+def build_fixture(name: str) -> Workload:
+    factory = FIXTURES.get(name)
+    if factory is None:
+        raise KeyError(
+            f"unknown fixture {name!r}; known: {', '.join(fixture_names())}"
+        )
+    return factory()

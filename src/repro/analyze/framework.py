@@ -1,0 +1,194 @@
+"""The pluggable rule framework behind ``repro analyze``.
+
+A :class:`Rule` is one named, stable-id'd check over an
+:class:`AnalysisContext` (a workload and/or a machine configuration).
+Rules self-register via :func:`register_rule`, so adding a check is:
+
+1. subclass :class:`Rule`, pick an unused ``rule_id`` (see the catalogue
+   in ``docs/static_analysis.md``),
+2. implement :meth:`Rule.check` yielding :class:`Diagnostic` objects,
+3. decorate with ``@register_rule``.
+
+``run_rules`` executes every registered rule (or a selected subset)
+against a context and aggregates an :class:`AnalysisReport`.  A rule that
+raises is itself converted into an ``ANA999`` error finding -- the
+analyzer must never crash the toolchain it is guarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Type,
+    TypeVar,
+)
+
+from repro.sim.config import SystemConfig
+from repro.workloads.base import Workload
+
+from .diagnostics import AnalysisReport, Diagnostic, Severity
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may inspect.
+
+    Either side can be absent: config-only analysis (``repro analyze
+    --config-only``) has no workload; nest-level certification inside the
+    compile pipeline has no full workload object.  Rules must declare what
+    they need via :attr:`Rule.requires` so the runner can skip them
+    instead of crashing.
+    """
+
+    config: Optional[SystemConfig] = None
+    workload: Optional[Workload] = None
+    params: Mapping[str, int] = field(default_factory=dict)
+
+    @property
+    def subject(self) -> str:
+        parts = []
+        if self.workload is not None:
+            parts.append(f"workload:{self.workload.name}")
+        if self.config is not None:
+            parts.append(
+                f"config:{self.config.mesh_width}x{self.config.mesh_height}"
+            )
+        return "+".join(parts) or "<empty>"
+
+    def bound_params(self) -> Dict[str, int]:
+        """Workload default parameters overlaid with explicit bindings."""
+        bound: Dict[str, int] = {}
+        if self.workload is not None:
+            bound.update(self.workload.program.default_params)
+        bound.update(self.params)
+        return bound
+
+
+class Rule:
+    """One static check.  Subclasses set the class attributes and
+    implement :meth:`check`."""
+
+    rule_id: str = "ANA000"
+    title: str = ""
+    default_severity: Severity = Severity.ERROR
+    requires: Sequence[str] = ()  # subset of {"config", "workload"}
+
+    def applicable(self, ctx: AnalysisContext) -> bool:
+        if "config" in self.requires and ctx.config is None:
+            return False
+        if "workload" in self.requires and ctx.workload is None:
+            return False
+        return True
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        raise NotImplementedError
+
+    # -- convenience constructors --------------------------------------
+    def finding(
+        self,
+        subject: str,
+        message: str,
+        severity: Optional[Severity] = None,
+        **details: object,
+    ) -> Diagnostic:
+        return Diagnostic(
+            rule_id=self.rule_id,
+            severity=severity if severity is not None else self.default_severity,
+            subject=subject,
+            message=message,
+            details=details,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+R = TypeVar("R", bound=Type[Rule])
+
+
+def register_rule(rule_cls: R) -> R:
+    """Class decorator: add a rule to the global registry.
+
+    Rule ids are the stable public contract (docs, JSON reports, ignore
+    lists), so duplicates are a programming error.
+    """
+    rule_id = rule_cls.rule_id
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"duplicate rule id {rule_id!r}: {existing.__name__} vs "
+            f"{rule_cls.__name__}"
+        )
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, sorted by rule id."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Type[Rule]:
+    rule = _REGISTRY.get(rule_id)
+    if rule is None:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        )
+    return rule
+
+
+def rule_catalogue() -> List[Dict[str, str]]:
+    """Rows for docs / ``repro analyze --list-rules``."""
+    return [
+        {
+            "rule": cls.rule_id,
+            "severity": cls.default_severity.value,
+            "title": cls.title,
+        }
+        for cls in all_rules()
+    ]
+
+
+def run_rules(
+    ctx: AnalysisContext,
+    rules: Optional[Sequence[Type[Rule]]] = None,
+    ignore: Sequence[str] = (),
+) -> AnalysisReport:
+    """Run (a subset of) the registered rules over one context."""
+    report = AnalysisReport(subject=ctx.subject)
+    selected = list(rules) if rules is not None else all_rules()
+    ignored = set(ignore)
+    for rule_cls in selected:
+        if rule_cls.rule_id in ignored:
+            continue
+        rule = rule_cls()
+        if not rule.applicable(ctx):
+            continue
+        try:
+            report.extend(rule.check(ctx))
+        except Exception as exc:  # noqa: BLE001 - rule crash becomes a finding
+            report.add(
+                Diagnostic(
+                    rule_id="ANA999",
+                    severity=Severity.ERROR,
+                    subject=ctx.subject,
+                    message=(
+                        f"rule {rule_cls.rule_id} crashed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ),
+                    details={"rule": rule_cls.rule_id},
+                )
+            )
+    report.meta["rules_run"] = [
+        cls.rule_id for cls in selected if cls.rule_id not in ignored
+    ]
+    return report
+
+
+CheckFunction = Callable[[AnalysisContext], Iterable[Diagnostic]]

@@ -1,0 +1,402 @@
+"""Mapping-legality and configuration-invariant rules.
+
+These rules statically validate everything the location-aware mapping
+pipeline *assumes* before a single simulated cycle runs:
+
+* ``CFG001`` -- the region grid covers the mesh: every node belongs to
+  exactly one region, no region is empty, and ragged tilings (mesh not
+  divisible by the region size) are surfaced;
+* ``CFG002`` -- every memory controller is attached to a real mesh node,
+  MC positions are distinct, and every core can reach every MC;
+* ``CFG003`` -- latency/geometry sanity of the machine description
+  (positive latencies, power-of-two lines and pages, caches that hold at
+  least one set);
+* ``AFF001`` -- the machine-side affinity tables (MAC per region over
+  MCs, CAC per region over regions) are well-formed probability
+  distributions of the right dimension;
+* ``LB001``  -- load-balance preconditions: the iteration-set fraction
+  yields at least as many sets as cores, otherwise balancing cannot fill
+  the machine;
+* ``PAR000`` -- the parallel-safety pass of :mod:`repro.analyze.parallel`
+  run over every nest of the workload.
+
+``check_set_affinities`` is the program-side half of ``AFF``: the compile
+pipeline calls it on the :class:`~repro.core.mapping.SetAffinity` vectors
+it just derived (``AFF002``), so a buggy affinity analysis is caught
+before the mapper consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.affinity import is_normalized
+from repro.core.mapping import Mapper, SetAffinity
+from repro.core.regions import RegionPartition
+from repro.ir.iterspace import partition_iteration_sets
+
+from .diagnostics import Diagnostic, Severity
+from .framework import AnalysisContext, Rule, register_rule
+from .parallel import certify_program
+
+
+@register_rule
+class RegionCoverageRule(Rule):
+    """The region grid must tile the mesh: total, disjoint, non-empty."""
+
+    rule_id = "CFG001"
+    title = "region grid covers the mesh"
+    requires = ("config",)
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        cfg = ctx.config
+        mesh = cfg.build_mesh()
+        part = RegionPartition(
+            mesh, region_w=cfg.region_w, region_h=cfg.region_h
+        )
+        seen = {}
+        for node in mesh.nodes():
+            region = part.region_of_node(node)
+            if not 0 <= region < part.num_regions:
+                yield self.finding(
+                    ctx.subject,
+                    f"node {node} maps to out-of-range region {region}",
+                    node=node,
+                    region=region,
+                )
+                continue
+            seen.setdefault(region, []).append(node)
+        for region in part.regions():
+            members = part.nodes_in_region(region)
+            if not members:
+                yield self.finding(
+                    ctx.subject,
+                    f"region {region} contains no cores; affinity vectors "
+                    "over regions would carry dead entries",
+                    region=region,
+                )
+            if sorted(members) != sorted(seen.get(region, [])):
+                yield self.finding(
+                    ctx.subject,
+                    f"region {region} membership disagrees with "
+                    "region_of_node (partition is not a function)",
+                    region=region,
+                )
+        covered = sum(len(part.nodes_in_region(r)) for r in part.regions())
+        if covered != mesh.num_nodes:
+            yield self.finding(
+                ctx.subject,
+                f"regions cover {covered} of {mesh.num_nodes} nodes",
+                covered=covered,
+                nodes=mesh.num_nodes,
+            )
+        if cfg.mesh_width % cfg.region_w or cfg.mesh_height % cfg.region_h:
+            yield self.finding(
+                ctx.subject,
+                f"mesh {cfg.mesh_width}x{cfg.mesh_height} is not divisible "
+                f"by the {cfg.region_w}x{cfg.region_h} region size: edge "
+                "regions are ragged and load balancing will see unequal "
+                "region capacities",
+                severity=Severity.WARNING,
+                mesh=[cfg.mesh_width, cfg.mesh_height],
+                region=[cfg.region_w, cfg.region_h],
+            )
+
+
+@register_rule
+class McReachabilityRule(Rule):
+    """Every MC sits on a distinct mesh node reachable from every core."""
+
+    rule_id = "CFG002"
+    title = "memory controllers are distinct and reachable"
+    requires = ("config",)
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        mesh = ctx.config.build_mesh()
+        positions = {}
+        for info in mesh.mcs:
+            x, y = info.position
+            if not (0 <= x < mesh.width and 0 <= y < mesh.height):
+                yield self.finding(
+                    ctx.subject,
+                    f"MC{info.index + 1} at {info.position} lies outside "
+                    f"the {mesh.width}x{mesh.height} mesh",
+                    mc=info.index,
+                    position=list(info.position),
+                )
+                continue
+            if info.position in positions:
+                yield self.finding(
+                    ctx.subject,
+                    f"MC{info.index + 1} and MC{positions[info.position] + 1} "
+                    f"share mesh position {info.position}; page-interleaved "
+                    "traffic meant for distinct controllers would collide "
+                    "on one router",
+                    mc=info.index,
+                    position=list(info.position),
+                )
+            positions[info.position] = info.index
+        diameter = mesh.width + mesh.height - 2
+        for node in mesh.nodes():
+            for info in mesh.mcs:
+                d = mesh.distance_to_mc(node, info.index)
+                if not 0 <= d <= diameter:
+                    yield self.finding(
+                        ctx.subject,
+                        f"node {node} has impossible distance {d} to "
+                        f"MC{info.index + 1}",
+                        node=node,
+                        mc=info.index,
+                        distance=d,
+                    )
+
+
+@register_rule
+class GeometrySanityRule(Rule):
+    """Machine-description sanity independent of the dataclass validators."""
+
+    rule_id = "CFG003"
+    title = "latencies and cache/memory geometry are sane"
+    requires = ("config",)
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        cfg = ctx.config
+        for name, value in (
+            ("l1_latency", cfg.l1_latency),
+            ("llc_latency", cfg.llc_latency),
+            ("router_delay", cfg.router_delay),
+        ):
+            if value < 1:
+                yield self.finding(
+                    ctx.subject,
+                    f"{name} = {value} cycles; latencies must be >= 1",
+                    field=name,
+                    value=value,
+                )
+        for name, value in (
+            ("l1_line_bytes", cfg.l1_line_bytes),
+            ("l2_line_bytes", cfg.l2_line_bytes),
+            ("page_bytes", cfg.page_bytes),
+        ):
+            if value < 1 or value & (value - 1):
+                yield self.finding(
+                    ctx.subject,
+                    f"{name} = {value}; line and page sizes must be "
+                    "powers of two for the address layout to slice bits",
+                    field=name,
+                    value=value,
+                )
+        if cfg.page_bytes < cfg.l2_line_bytes:
+            yield self.finding(
+                ctx.subject,
+                f"page ({cfg.page_bytes} B) smaller than an LLC line "
+                f"({cfg.l2_line_bytes} B): one line would straddle pages",
+                page_bytes=cfg.page_bytes,
+                line_bytes=cfg.l2_line_bytes,
+            )
+        for name, size, assoc, line in (
+            ("l1", cfg.l1_size_bytes, cfg.l1_assoc, cfg.l1_line_bytes),
+            ("l2", cfg.l2_size_bytes, cfg.l2_assoc, cfg.l2_line_bytes),
+        ):
+            if assoc < 1 or size < assoc * line:
+                yield self.finding(
+                    ctx.subject,
+                    f"{name} cache of {size} B cannot hold one "
+                    f"{assoc}-way set of {line} B lines",
+                    cache=name,
+                    size=size,
+                    assoc=assoc,
+                    line=line,
+                )
+        if cfg.mc_buffer_entries < 1:
+            yield self.finding(
+                ctx.subject,
+                f"mc_buffer_entries = {cfg.mc_buffer_entries}; each "
+                "controller needs at least one request buffer entry",
+                value=cfg.mc_buffer_entries,
+            )
+
+
+@register_rule
+class MachineAffinityRule(Rule):
+    """MAC/CAC tables must be well-formed distributions per region."""
+
+    rule_id = "AFF001"
+    title = "machine affinity tables (MAC/CAC) are well-formed"
+    requires = ("config",)
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        cfg = ctx.config
+        part = RegionPartition(
+            cfg.build_mesh(), region_w=cfg.region_w, region_h=cfg.region_h
+        )
+        mapper = Mapper(part, cfg.llc_organization)
+        for label, table, length in (
+            ("MAC", mapper.macs, cfg.num_mcs),
+            ("CAC", mapper.cacs, part.num_regions),
+        ):
+            if sorted(table) != list(part.regions()):
+                yield self.finding(
+                    ctx.subject,
+                    f"{label} table keyed by {sorted(table)} instead of "
+                    f"the {part.num_regions} regions",
+                    table=label,
+                )
+                continue
+            for region, vec in table.items():
+                arr = np.asarray(vec, dtype=float)
+                if arr.shape != (length,):
+                    yield self.finding(
+                        ctx.subject,
+                        f"{label}({region}) has {arr.shape[0]} entries, "
+                        f"expected {length}",
+                        table=label,
+                        region=region,
+                        expected=length,
+                    )
+                elif not is_normalized(arr):
+                    yield self.finding(
+                        ctx.subject,
+                        f"{label}({region}) is not a probability "
+                        f"distribution (sum={float(arr.sum()):.6f}, "
+                        f"min={float(arr.min()):.6f})",
+                        table=label,
+                        region=region,
+                        total=float(arr.sum()),
+                    )
+
+
+@register_rule
+class LoadBalancePreconditionRule(Rule):
+    """Enough iteration sets per nest for balancing to fill the machine."""
+
+    rule_id = "LB001"
+    title = "iteration-set count can fill every core"
+    default_severity = Severity.WARNING
+    requires = ("config", "workload")
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        cfg = ctx.config
+        params = ctx.bound_params()
+        for nest in ctx.workload.program.nests:
+            try:
+                total = nest.domain.resolve(params).size
+            except KeyError as exc:
+                yield self.finding(
+                    ctx.subject,
+                    f"nest {nest.name}: unbound parameter {exc} prevents "
+                    "sizing its iteration space",
+                    nest=nest.name,
+                )
+                continue
+            sets = len(
+                partition_iteration_sets(
+                    total, set_fraction=cfg.iteration_set_fraction
+                )
+            )
+            if sets < cfg.num_cores:
+                yield self.finding(
+                    ctx.subject,
+                    f"nest {nest.name}: {total} iterations split into only "
+                    f"{sets} set(s) for {cfg.num_cores} cores "
+                    f"(iteration_set_fraction={cfg.iteration_set_fraction}); "
+                    "load balancing cannot occupy every core",
+                    nest=nest.name,
+                    sets=sets,
+                    cores=cfg.num_cores,
+                    iterations=total,
+                )
+
+
+@register_rule
+class ParallelSafetyRule(Rule):
+    """Certify every nest's parallel annotation (see ``parallel.py``)."""
+
+    rule_id = "PAR000"
+    title = "loop nests are parallel-safe (or explicitly trusted)"
+    requires = ("workload",)
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        certificates = certify_program(
+            ctx.workload.program, ctx.bound_params()
+        )
+        for cert in certificates:
+            yield from cert.diagnostics
+
+
+# ----------------------------------------------------------------------
+# Program-side affinity validation (used by the pipeline gate)
+# ----------------------------------------------------------------------
+def check_set_affinities(
+    sets: Sequence[SetAffinity],
+    num_mcs: int,
+    num_regions: int,
+    subject: str,
+) -> List[Diagnostic]:
+    """Validate derived MAI/CAI vectors before the mapper consumes them.
+
+    Emits ``AFF002`` findings: wrong dimension, negative mass, a total
+    that is neither ~1 nor 0, or an alpha outside [0, 1].
+    """
+    out: List[Diagnostic] = []
+
+    def bad(message: str, **details: object) -> None:
+        out.append(
+            Diagnostic(
+                rule_id="AFF002",
+                severity=Severity.ERROR,
+                subject=subject,
+                message=message,
+                details=details,
+            )
+        )
+
+    for sa in sets:
+        mai = np.asarray(sa.mai, dtype=float)
+        if mai.shape != (num_mcs,):
+            bad(
+                f"set {sa.set_id}: MAI has {mai.shape} entries, expected "
+                f"({num_mcs},)",
+                set=sa.set_id,
+                expected=num_mcs,
+            )
+        elif not is_normalized(mai):
+            bad(
+                f"set {sa.set_id}: MAI is not a distribution "
+                f"(sum={float(mai.sum()):.6f}, min={float(mai.min()):.6f})",
+                set=sa.set_id,
+                total=float(mai.sum()),
+            )
+        if sa.cai is not None:
+            cai = np.asarray(sa.cai, dtype=float)
+            if cai.shape != (num_regions,):
+                bad(
+                    f"set {sa.set_id}: CAI has {cai.shape} entries, "
+                    f"expected ({num_regions},)",
+                    set=sa.set_id,
+                    expected=num_regions,
+                )
+            elif not is_normalized(cai):
+                bad(
+                    f"set {sa.set_id}: CAI is not a distribution "
+                    f"(sum={float(cai.sum()):.6f}, "
+                    f"min={float(cai.min()):.6f})",
+                    set=sa.set_id,
+                    total=float(cai.sum()),
+                )
+        if not 0.0 <= sa.alpha <= 1.0:
+            bad(
+                f"set {sa.set_id}: alpha = {sa.alpha} outside [0, 1]",
+                set=sa.set_id,
+                alpha=sa.alpha,
+            )
+        if sa.iterations < 1:
+            bad(
+                f"set {sa.set_id}: non-positive iteration count "
+                f"{sa.iterations}",
+                set=sa.set_id,
+                iterations=sa.iterations,
+            )
+    return out

@@ -1,0 +1,435 @@
+"""Parallel-safety certification of loop nests (the ``PAR`` rule family).
+
+For every nest annotated ``parallel=True`` the verifier decides, per pair
+of same-array references with at least one write, which of four tiers the
+pair lands in:
+
+* **independent / loop-independent** -- proven conflict-free across
+  iterations (per-loop uniform distances, GCD, or the direction-vector
+  Banerjee test of :mod:`repro.analyze.banerjee`);
+* **uniform carried** -- a provable loop-carried dependence with a
+  constant per-loop distance that fits in the iteration space.  This is
+  *hard evidence against* the ``parallel=True`` annotation: ``PAR002``
+  (error), same contract as :func:`repro.ir.dependence.validate_parallelism`;
+* **reduction-shaped** -- both references touch the same element while
+  some surrounding loop never appears in the subscripts (``sum[i] += ...``
+  inside an ``(i, j)`` nest).  Real codes parallelize these as reductions,
+  so the annotation is trusted with a ``PAR005`` diagnostic;
+* **may** -- neither provable nor refutable (coupled subscripts, symbolic
+  bounds, mismatched parameters).  The annotation is the user's promise,
+  exactly as the paper treats its irregular codes: ``PAR004`` (warning).
+
+Indirect references are never provably independent at compile time; a
+pair involving one downgrades to the **trusted-annotation** tier
+(``PAR003``), matching Section 4 of the paper.
+
+The nest-level status is the worst pair tier; :data:`CertStatus` orders
+them.  Everything here is static -- no simulation, no address
+materialization -- so certification of the full 21-benchmark suite runs
+in milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.ir.loops import LoopNest, Program
+from repro.ir.refs import AffineAccess, IndirectAccess
+from repro.ir.symbolic import AffineExpr
+
+from .banerjee import (
+    LoopBound,
+    concrete_bounds,
+    feasible_carried_directions,
+    render_directions,
+)
+from .diagnostics import Diagnostic, Severity
+
+
+class PairKind(enum.Enum):
+    INDEPENDENT = "independent"          # no cross-iteration conflict possible
+    LOOP_INDEPENDENT = "loop_independent"  # conflicts only within an iteration
+    UNIFORM_CARRIED = "uniform_carried"  # provable constant-distance dependence
+    REDUCTION = "reduction"              # same element via subscript-free loops
+    MAY = "may"                          # not disproved, not proved
+    INDIRECT = "indirect"                # runtime-valued subscripts
+
+
+@dataclass(frozen=True)
+class PairEvidence:
+    """What the verifier concluded about one reference pair."""
+
+    array: str
+    source: str
+    sink: str
+    kind: PairKind
+    distance: Optional[Tuple[int, ...]] = None  # per-loop, loop order
+    directions: Optional[Tuple[str, ...]] = None  # rendered feasible vectors
+    free_loops: Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        extra = ""
+        if self.distance is not None:
+            extra = f" distance={self.distance}"
+        if self.directions:
+            extra += f" directions={list(self.directions)}"
+        if self.free_loops:
+            extra += f" free_loops={list(self.free_loops)}"
+        return (
+            f"{self.array}: {self.source} ~ {self.sink} "
+            f"[{self.kind.value}]{extra}"
+        )
+
+
+class CertStatus(enum.Enum):
+    """Nest-level verdicts, ordered from best to worst."""
+
+    SEQUENTIAL = "sequential"   # not annotated parallel; nothing to certify
+    CERTIFIED = "certified"     # every pair proven conflict-free
+    ASSUMED = "assumed"         # may-deps or reduction shapes; trusted
+    TRUSTED = "trusted"         # indirect accesses; annotation is the promise
+    REFUTED = "refuted"         # provable carried dependence: annotation wrong
+
+    @property
+    def rank(self) -> int:
+        return _STATUS_RANK[self]
+
+
+_STATUS_RANK: Dict[CertStatus, int] = {
+    CertStatus.SEQUENTIAL: 0,
+    CertStatus.CERTIFIED: 1,
+    CertStatus.ASSUMED: 2,
+    CertStatus.TRUSTED: 3,
+    CertStatus.REFUTED: 4,
+}
+
+
+@dataclass
+class NestCertificate:
+    """The verifier's verdict for one loop nest."""
+
+    nest: str
+    status: CertStatus
+    pairs_checked: int = 0
+    evidence: List[PairEvidence] = field(default_factory=list)
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    @property
+    def parallel_safe(self) -> bool:
+        """Safe to distribute iterations across cores (possibly on trust)."""
+        return self.status is not CertStatus.REFUTED
+
+
+# ----------------------------------------------------------------------
+# Pair analysis
+# ----------------------------------------------------------------------
+def _substituted_indices(
+    ref: AffineAccess, loop_names: Sequence[str], params: Mapping[str, int]
+) -> List[AffineExpr]:
+    """Bind parameters inside each subscript, keeping loop symbols free."""
+    out = []
+    for expr in ref.index.indices:
+        bindable = {
+            s: params[s]
+            for s, _ in expr.coeffs
+            if s not in loop_names and s in params
+        }
+        out.append(expr.substitute(bindable))
+    return out
+
+
+def _param_part(
+    expr: AffineExpr, loop_names: Sequence[str]
+) -> Tuple[Tuple[str, int], ...]:
+    return tuple((s, c) for s, c in expr.coeffs if s not in loop_names)
+
+
+def _analyze_affine_pair(
+    a: AffineAccess,
+    b: AffineAccess,
+    loop_names: Sequence[str],
+    params: Mapping[str, int],
+    bounds: Optional[Sequence[LoopBound]],
+) -> PairEvidence:
+    """Classify one affine reference pair (at least one side writes)."""
+    fs = _substituted_indices(a, loop_names, params)
+    gs = _substituted_indices(b, loop_names, params)
+    extents = (
+        {bd.name: bd.extent for bd in bounds} if bounds is not None else None
+    )
+
+    deltas: Dict[str, int] = {}   # required i' - i per loop
+    coupled = False               # some dimension needs the direction tests
+    for f, g in zip(fs, gs):
+        if _param_part(f, loop_names) != _param_part(g, loop_names):
+            coupled = True  # unresolved symbols differ: cannot reason exactly
+            continue
+        f_loop = {n: f.coefficient(n) for n in loop_names}
+        g_loop = {n: g.coefficient(n) for n in loop_names}
+        const_delta = g.const - f.const
+        if f_loop == g_loop:
+            nonzero = [(n, c) for n, c in f_loop.items() if c != 0]
+            if not nonzero:
+                if const_delta != 0:
+                    return _independent(a, b)
+                continue  # dimension is a shared constant: no constraint
+            if len(nonzero) == 1:
+                name, coeff = nonzero[0]
+                if const_delta % coeff != 0:
+                    return _independent(a, b)
+                required = -const_delta // coeff
+                if name in deltas and deltas[name] != required:
+                    return _independent(a, b)  # contradictory constraints
+                deltas[name] = required
+                continue
+            coupled = True
+        else:
+            coupled = True
+
+    if coupled:
+        # The bounds tests read only loop coefficients: with any non-loop
+        # symbol still unresolved they would silently drop its term and
+        # could certify a real dependence away, so they are off-limits.
+        unresolved = any(
+            any(s not in loop_names for s, _ in e.coeffs)
+            for exprs in (fs, gs)
+            for e in exprs
+        )
+        if bounds is not None and not unresolved:
+            vectors = feasible_carried_directions(fs, gs, bounds)
+            if not vectors:
+                return _independent(a, b)
+            return PairEvidence(
+                array=a.array.name,
+                source=repr(a),
+                sink=repr(b),
+                kind=PairKind.MAY,
+                directions=tuple(render_directions(vectors)),
+            )
+        return PairEvidence(
+            array=a.array.name,
+            source=repr(a),
+            sink=repr(b),
+            kind=PairKind.MAY,
+        )
+
+    # Fully uniform: a consistent per-loop distance map.  Loops with no
+    # subscript coefficient on either side are unconstrained ("free").
+    free = [
+        n
+        for n in loop_names
+        if n not in deltas
+        and all(f.coefficient(n) == 0 for f in fs)
+        and all(g.coefficient(n) == 0 for g in gs)
+    ]
+    # Loops constrained by no dimension but used by some subscript cannot
+    # exist here: a used loop either produced a delta or forced `coupled`.
+    if any(d != 0 for d in deltas.values()):
+        if extents is not None and any(
+            abs(d) >= extents[n] for n, d in deltas.items()
+        ):
+            return _independent(a, b)  # distance larger than the loop itself
+        distance = tuple(deltas.get(n, 0) for n in loop_names)
+        return PairEvidence(
+            array=a.array.name,
+            source=repr(a),
+            sink=repr(b),
+            kind=PairKind.UNIFORM_CARRIED,
+            distance=distance,
+        )
+    live_free = [
+        n for n in free if extents is None or extents[n] >= 2
+    ]
+    if live_free:
+        return PairEvidence(
+            array=a.array.name,
+            source=repr(a),
+            sink=repr(b),
+            kind=PairKind.REDUCTION,
+            free_loops=tuple(live_free),
+        )
+    return PairEvidence(
+        array=a.array.name,
+        source=repr(a),
+        sink=repr(b),
+        kind=PairKind.LOOP_INDEPENDENT,
+    )
+
+
+def _independent(a: AffineAccess, b: AffineAccess) -> PairEvidence:
+    return PairEvidence(
+        array=a.array.name,
+        source=repr(a),
+        sink=repr(b),
+        kind=PairKind.INDEPENDENT,
+    )
+
+
+# ----------------------------------------------------------------------
+# Nest certification
+# ----------------------------------------------------------------------
+def certify_nest(
+    nest: LoopNest, params: Optional[Mapping[str, int]] = None
+) -> NestCertificate:
+    """Certify or refute one nest's ``parallel=True`` annotation."""
+    params = dict(params or {})
+    subject = f"nest:{nest.name}"
+    if not nest.parallel:
+        cert = NestCertificate(nest=nest.name, status=CertStatus.SEQUENTIAL)
+        cert.diagnostics.append(
+            Diagnostic(
+                rule_id="PAR006",
+                severity=Severity.INFO,
+                subject=subject,
+                message="nest is sequential; parallel safety not required",
+            )
+        )
+        return cert
+
+    loop_names = nest.domain.names
+    bounds = concrete_bounds(nest.domain, params)
+    refs = list(nest.references)
+    evidence: List[PairEvidence] = []
+    pairs = 0
+    for x in range(len(refs)):
+        for y in range(x, len(refs)):
+            a, b = refs[x], refs[y]
+            if not (a.is_write or b.is_write):
+                continue
+            if a.array.name != b.array.name:
+                continue
+            if x == y and not a.is_write:
+                continue
+            pairs += 1
+            if isinstance(a, IndirectAccess) or isinstance(b, IndirectAccess):
+                evidence.append(
+                    PairEvidence(
+                        array=a.array.name,
+                        source=repr(a),
+                        sink=repr(b),
+                        kind=PairKind.INDIRECT,
+                    )
+                )
+                continue
+            evidence.append(
+                _analyze_affine_pair(a, b, loop_names, params, bounds)
+            )
+
+    cert = NestCertificate(
+        nest=nest.name,
+        status=CertStatus.CERTIFIED,
+        pairs_checked=pairs,
+        evidence=evidence,
+    )
+    for ev in evidence:
+        if ev.kind is PairKind.UNIFORM_CARRIED:
+            cert.status = _worse(cert.status, CertStatus.REFUTED)
+            cert.diagnostics.append(
+                Diagnostic(
+                    rule_id="PAR002",
+                    severity=Severity.ERROR,
+                    subject=subject,
+                    message=(
+                        "marked parallel but carries a provable "
+                        f"loop-carried dependence: {ev.describe()}"
+                    ),
+                    details={
+                        "array": ev.array,
+                        "source": ev.source,
+                        "sink": ev.sink,
+                        "distance": list(ev.distance or ()),
+                        "loops": list(loop_names),
+                    },
+                )
+            )
+        elif ev.kind is PairKind.INDIRECT:
+            cert.status = _worse(cert.status, CertStatus.TRUSTED)
+        elif ev.kind is PairKind.MAY:
+            cert.status = _worse(cert.status, CertStatus.ASSUMED)
+            cert.diagnostics.append(
+                Diagnostic(
+                    rule_id="PAR004",
+                    severity=Severity.WARNING,
+                    subject=subject,
+                    message=(
+                        "affine may-dependence could not be disproved; "
+                        f"trusting the parallel annotation: {ev.describe()}"
+                    ),
+                    details={
+                        "array": ev.array,
+                        "source": ev.source,
+                        "sink": ev.sink,
+                        "directions": list(ev.directions or ()),
+                    },
+                )
+            )
+        elif ev.kind is PairKind.REDUCTION:
+            cert.status = _worse(cert.status, CertStatus.ASSUMED)
+            cert.diagnostics.append(
+                Diagnostic(
+                    rule_id="PAR005",
+                    severity=Severity.WARNING,
+                    subject=subject,
+                    message=(
+                        "reduction-shaped access: same element reached from "
+                        f"loops {list(ev.free_loops)} absent in the "
+                        "subscripts; assuming a combinable reduction: "
+                        f"{ev.describe()}"
+                    ),
+                    details={
+                        "array": ev.array,
+                        "source": ev.source,
+                        "sink": ev.sink,
+                        "free_loops": list(ev.free_loops),
+                    },
+                )
+            )
+
+    if cert.status is CertStatus.TRUSTED:
+        indirect = [e for e in evidence if e.kind is PairKind.INDIRECT]
+        cert.diagnostics.append(
+            Diagnostic(
+                rule_id="PAR003",
+                severity=Severity.WARNING,
+                subject=subject,
+                message=(
+                    f"{len(indirect)} indirect reference pair(s) cannot be "
+                    "analyzed at compile time; trusting the parallel "
+                    "annotation (inspector/executor path)"
+                ),
+                details={"pairs": [e.describe() for e in indirect]},
+            )
+        )
+    if cert.status is CertStatus.CERTIFIED:
+        cert.diagnostics.append(
+            Diagnostic(
+                rule_id="PAR001",
+                severity=Severity.INFO,
+                subject=subject,
+                message=(
+                    f"certified parallel-safe: {pairs} reference pair(s) "
+                    "proven free of loop-carried dependences"
+                ),
+                details={
+                    "pairs_checked": pairs,
+                    "bounds_known": bounds is not None,
+                },
+            )
+        )
+    return cert
+
+
+def _worse(current: CertStatus, candidate: CertStatus) -> CertStatus:
+    return candidate if candidate.rank > current.rank else current
+
+
+def certify_program(
+    program: Program, params: Optional[Mapping[str, int]] = None
+) -> List[NestCertificate]:
+    """Certify every nest of a program against its (default) parameters."""
+    bound = dict(program.default_params)
+    if params:
+        bound.update(params)
+    return [certify_nest(nest, bound) for nest in program.nests]

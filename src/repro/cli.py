@@ -3,6 +3,7 @@
 Commands:
 
 * ``list``                          -- the 21 benchmarks and their metadata
+* ``analyze [APP ...] [--json F]``  -- static safety/legality verification
 * ``run APP [--mapping M] [...]``   -- simulate one app, print stats
 * ``compare APP [...]``             -- default vs location-aware side by side
 * ``profile APP [...]``             -- phase breakdown + manifest for one run
@@ -12,6 +13,9 @@ Commands:
 
 Examples::
 
+    python -m repro analyze --all --json diagnostics.json
+    python -m repro analyze mxm nbf --verbose
+    python -m repro analyze --fixture carried-stencil   # exits 1
     python -m repro compare mxm --scale 0.6
     python -m repro run nbf --mapping la --llc private
     python -m repro profile mxm --mapping la --events /tmp/mxm.jsonl
@@ -22,9 +26,18 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
+from repro.analyze import (
+    SCHEMA,
+    analyze_config,
+    analyze_run,
+    build_fixture,
+    fixture_names,
+    rule_catalogue,
+)
 from repro.experiments import figures as fig
 from repro.experiments.harness import MAPPINGS, compare, run_workload
 from repro.experiments.report import print_table
@@ -88,10 +101,61 @@ def cmd_list(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    """Static verification: parallel safety + mapping/config legality."""
+    if args.list_rules:
+        print_table(
+            ["rule", "severity", "title"],
+            [[r["rule"], r["severity"], r["title"]] for r in rule_catalogue()],
+            title="registered analysis rules",
+        )
+        return 0
+
+    config = _config(args)
+    reports = []
+    if args.config_only:
+        reports.append(analyze_config(config))
+    else:
+        workloads = []
+        if args.fixture:
+            workloads.append(build_fixture(args.fixture))
+        for app in args.apps:
+            workloads.append(build_workload(app))
+        if not workloads:  # no explicit subject: the whole bundled suite
+            workloads = [build_workload(name) for name in SUITE_ORDER]
+        for workload in workloads:
+            reports.append(analyze_run(workload=workload, config=config))
+
+    for report in reports:
+        print(report.render_text(verbose=args.verbose))
+    exit_code = max(r.exit_code for r in reports)
+    totals = {"info": 0, "warning": 0, "error": 0}
+    for report in reports:
+        for key, value in report.counts().items():
+            totals[key] += value
+    print(
+        f"analyzed {len(reports)} subject(s): {totals['error']} error(s), "
+        f"{totals['warning']} warning(s), {totals['info']} info -> "
+        + ("OK" if exit_code == 0 else "ILLEGAL")
+    )
+    if args.json:
+        payload = {
+            "schema": SCHEMA,
+            "summary": {**totals, "ok": exit_code == 0},
+            "reports": [r.to_dict() for r in reports],
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"JSON diagnostics -> {args.json}")
+    return exit_code
+
+
 def cmd_run(args) -> int:
     workload = build_workload(args.app)
     result = run_workload(
-        workload, _config(args), mapping=args.mapping, scale=args.scale
+        workload, _config(args), mapping=args.mapping, scale=args.scale,
+        analyze_gate=args.gate,
     )
     s = result.stats
     print(f"{args.app} [{args.mapping}, {args.llc} LLC, scale {args.scale}]")
@@ -231,6 +295,26 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list the benchmark suite")
     sub.add_parser("properties", help="Table 3 static columns")
 
+    p = sub.add_parser(
+        "analyze",
+        help="static verification: parallel safety + mapping legality",
+    )
+    p.add_argument("apps", nargs="*", choices=[[]] + list(SUITE_ORDER),
+                   help="benchmarks to analyze (default: the whole suite)")
+    p.add_argument("--all", action="store_true", dest="all_apps",
+                   help="analyze the whole bundled suite (the default)")
+    p.add_argument("--fixture", default="", choices=[""] + fixture_names(),
+                   help="also analyze a deliberately-flawed fixture workload")
+    p.add_argument("--config-only", action="store_true",
+                   help="check only the machine configuration invariants")
+    p.add_argument("--llc", default="shared", choices=("shared", "private"))
+    p.add_argument("--json", default="",
+                   help="write machine-readable diagnostics to this file")
+    p.add_argument("--verbose", action="store_true",
+                   help="also print info-severity findings (certificates)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalogue and exit")
+
     for name, help_text in (
         ("run", "simulate one application"),
         ("compare", "default vs optimized mapping"),
@@ -244,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--llc", default="shared",
                        choices=("shared", "private"))
         p.add_argument("--scale", type=float, default=1.0)
+        if name == "run":
+            p.add_argument("--gate", action="store_true",
+                           help="run the static analyzer first; refuse to "
+                                "simulate on error findings")
         if name == "profile":
             p.add_argument("--level", default="decisions", choices=LEVELS,
                            help="event stream verbosity")
@@ -266,6 +354,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": cmd_list,
+        "analyze": cmd_analyze,
         "run": cmd_run,
         "compare": cmd_compare,
         "profile": cmd_profile,

@@ -22,6 +22,9 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analyze.diagnostics import AnalysisError, AnalysisReport
+from repro.analyze.invariants import check_set_affinities
+from repro.analyze.parallel import certify_nest
 from repro.cache.snuca import LLCOrganization
 from repro.cme.equations import CacheMissEstimator
 from repro.ir.dependence import validate_parallelism
@@ -75,11 +78,16 @@ class LocationAwareCompiler:
         iteration_set_fraction: Optional[float] = None,
         num_regions: Optional[int] = None,
         check_parallelism: bool = True,
+        analyze_gate: bool = False,
         seed: int = 11,
         telemetry=None,
     ):
         self.config = config
         self.check_parallelism = check_parallelism
+        # Opt-in pre-run gate: run the repro.analyze certifier over every
+        # nest and validate the derived affinity vectors; error findings
+        # abort compilation with an AnalysisError carrying the report.
+        self.analyze_gate = analyze_gate
         # Optional repro.obs.Telemetry: phases time the Figure 4 stages and
         # the mapper narrates its decisions into the hub's event stream.
         if telemetry is not None and not telemetry.enabled:
@@ -138,6 +146,8 @@ class LocationAwareCompiler:
 
     def compile(self, instance: ProgramInstance) -> CompiledSchedule:
         """Run the full Figure 4 flow over every parallel nest."""
+        if self.analyze_gate:
+            self._gate_instance(instance)
         result = CompiledSchedule(iteration_sets={}, schedules={})
         for nest_index, nest in enumerate(instance.program.nests):
             if self.check_parallelism:
@@ -149,6 +159,8 @@ class LocationAwareCompiler:
                     affinities = self._analyze_nest(instance, nest_index, sets)
             else:
                 affinities = self._analyze_nest(instance, nest_index, sets)
+            if self.analyze_gate:
+                self._gate_affinities(instance, nest_index, affinities)
             for affinity in affinities:
                 result.affinities[(nest_index, affinity.set_id)] = affinity
             if self.telemetry is not None:
@@ -159,6 +171,39 @@ class LocationAwareCompiler:
             result.schedules[nest_index] = schedule.set_to_core
             result.moved_fractions[nest_index] = schedule.moved_fraction
         return result
+
+    # ------------------------------------------------------------------
+    # Pre-run static gate (repro.analyze)
+    # ------------------------------------------------------------------
+    def _gate_instance(self, instance: ProgramInstance) -> None:
+        """Certify every nest's parallel annotation before compiling."""
+        report = AnalysisReport(subject=f"compile:{instance.name}")
+        for nest in instance.program.nests:
+            cert = certify_nest(nest, instance.params)
+            report.extend(cert.diagnostics)
+        if not report.ok:
+            raise AnalysisError(report)
+
+    def _gate_affinities(
+        self,
+        instance: ProgramInstance,
+        nest_index: int,
+        affinities: List[SetAffinity],
+    ) -> None:
+        """Reject malformed MAI/CAI vectors before the mapper sees them."""
+        nest = instance.program.nests[nest_index]
+        findings = check_set_affinities(
+            affinities,
+            num_mcs=self.config.num_mcs,
+            num_regions=self.partition.num_regions,
+            subject=f"compile:{instance.name}/nest:{nest.name}",
+        )
+        if findings:
+            report = AnalysisReport(
+                subject=f"compile:{instance.name}/nest:{nest.name}"
+            )
+            report.extend(findings)
+            raise AnalysisError(report)
 
     # ------------------------------------------------------------------
     def _analyze_nest(

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.analyze import gate as _analyze_gate
 from repro.baselines.default import default_schedules, partition_all_nests
 from repro.baselines.hardware import hardware_schedules
 from repro.baselines.layout import build_layout_remap
@@ -166,8 +167,14 @@ def run_workload(
     compiler_kwargs: Optional[dict] = None,
     inspector_cost: Optional[InspectorCost] = None,
     telemetry: Optional[Telemetry] = None,
+    analyze_gate: bool = False,
 ) -> RunResult:
     """Simulate one workload end to end; returns stats + artifacts.
+
+    ``analyze_gate=True`` runs the :mod:`repro.analyze` static checks
+    (parallel-safety certification plus config/mapping invariants) before
+    any cycle is simulated and raises
+    :class:`repro.analyze.AnalysisError` on error-severity findings.
 
     ``trips`` overrides the modeled timing-loop trip count (default
     ``MODELED_TRIPS``); the number of *simulated* trips stays 2-3 (cold /
@@ -182,6 +189,8 @@ def run_workload(
     """
     if mapping not in MAPPINGS:
         raise ValueError(f"unknown mapping {mapping!r}; one of {MAPPINGS}")
+    if analyze_gate:
+        _analyze_gate(workload=workload, config=config)
     if telemetry is not None and not telemetry.enabled:
         telemetry = None
     wall_start = time.perf_counter()

@@ -96,6 +96,71 @@ class SystemConfig:
     engine_mode: str = "fast"
 
     def __post_init__(self) -> None:
+        if self.mesh_width < 1 or self.mesh_height < 1:
+            raise ValueError(
+                f"mesh dimensions must be positive, got "
+                f"{self.mesh_width}x{self.mesh_height}"
+            )
+        if self.region_w < 1 or self.region_h < 1:
+            raise ValueError(
+                f"region dimensions must be positive, got "
+                f"{self.region_w}x{self.region_h}"
+            )
+        if self.region_w > self.mesh_width or self.region_h > self.mesh_height:
+            raise ValueError(
+                f"{self.region_w}x{self.region_h} regions do not fit on a "
+                f"{self.mesh_width}x{self.mesh_height} mesh; shrink the "
+                "region or grow the mesh"
+            )
+        if self.mesh_width % self.region_w or self.mesh_height % self.region_h:
+            raise ValueError(
+                f"mesh {self.mesh_width}x{self.mesh_height} is not divisible "
+                f"by the {self.region_w}x{self.region_h} region size; ragged "
+                "edge regions would skew the load balancer -- pick a region "
+                "size that tiles the mesh (or build a RegionPartition "
+                "directly to study ragged grids)"
+            )
+        for name, value in (
+            ("l1_latency", self.l1_latency),
+            ("llc_latency", self.llc_latency),
+            ("router_delay", self.router_delay),
+        ):
+            if value < 1:
+                raise ValueError(
+                    f"{name} must be at least 1 cycle, got {value}"
+                )
+        for name, value in (
+            ("l1_line_bytes", self.l1_line_bytes),
+            ("l2_line_bytes", self.l2_line_bytes),
+            ("page_bytes", self.page_bytes),
+        ):
+            if value < 1 or value & (value - 1):
+                raise ValueError(
+                    f"{name} must be a power of two, got {value} (the "
+                    "address layout slices line/page bits)"
+                )
+        if self.page_bytes < self.l2_line_bytes:
+            raise ValueError(
+                f"page_bytes ({self.page_bytes}) must be at least one LLC "
+                f"line ({self.l2_line_bytes}); a line cannot straddle pages"
+            )
+        for name, size, assoc, line in (
+            ("l1", self.l1_size_bytes, self.l1_assoc, self.l1_line_bytes),
+            ("l2", self.l2_size_bytes, self.l2_assoc, self.l2_line_bytes),
+        ):
+            if assoc < 1:
+                raise ValueError(f"{name}_assoc must be positive, got {assoc}")
+            if size < assoc * line:
+                raise ValueError(
+                    f"{name}_size_bytes ({size}) cannot hold a single "
+                    f"{assoc}-way set of {line}-byte lines "
+                    f"(needs >= {assoc * line})"
+                )
+        if self.mc_buffer_entries < 1:
+            raise ValueError(
+                f"mc_buffer_entries must be at least 1, got "
+                f"{self.mc_buffer_entries}"
+            )
         if not 0.0 <= self.stall_overlap < 1.0:
             raise ValueError("stall_overlap must be in [0, 1)")
         if not 0.0 < self.iteration_set_fraction <= 1.0:

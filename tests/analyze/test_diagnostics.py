@@ -1,0 +1,107 @@
+"""Diagnostic data model: severities, reports, JSON schema, gate error."""
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    SCHEMA,
+    AnalysisError,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+)
+
+
+def diag(rule="XXX001", severity=Severity.ERROR, subject="s", message="m"):
+    return Diagnostic(
+        rule_id=rule, severity=severity, subject=subject, message=message
+    )
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING >= Severity.INFO
+        assert max(Severity) is Severity.ERROR
+
+    def test_values_are_stable(self):
+        # The JSON schema depends on these strings.
+        assert [s.value for s in Severity] == ["info", "warning", "error"]
+
+
+class TestReport:
+    def test_counts_and_queries(self):
+        report = AnalysisReport(subject="t")
+        report.add(diag(severity=Severity.INFO))
+        report.add(diag(severity=Severity.WARNING))
+        report.add(diag(severity=Severity.ERROR))
+        assert report.counts() == {"info": 1, "warning": 1, "error": 1}
+        assert len(report.errors) == 1
+        assert len(report.warnings) == 1
+        assert report.worst is Severity.ERROR
+        assert not report.ok
+        assert report.exit_code == 1
+
+    def test_clean_report_is_ok(self):
+        report = AnalysisReport(subject="t")
+        report.add(diag(severity=Severity.WARNING))
+        assert report.ok
+        assert report.exit_code == 0
+        assert report.worst is Severity.WARNING
+        assert AnalysisReport().worst is None
+
+    def test_merge_keeps_first_meta(self):
+        a = AnalysisReport(subject="a", meta={"k": 1})
+        b = AnalysisReport(subject="b", meta={"k": 2, "only_b": 3})
+        b.add(diag())
+        a.merge(b)
+        assert len(a) == 1
+        assert a.meta == {"k": 1, "only_b": 3}
+
+    def test_json_round_trip_and_schema(self):
+        report = AnalysisReport(subject="t")
+        report.add(diag(severity=Severity.ERROR))
+        payload = json.loads(report.to_json())
+        assert payload["schema"] == SCHEMA
+        assert payload["subject"] == "t"
+        assert payload["summary"]["error"] == 1
+        assert payload["summary"]["ok"] is False
+        [entry] = payload["diagnostics"]
+        assert entry["rule"] == "XXX001"
+        assert entry["severity"] == "error"
+
+    def test_render_text_hides_info_unless_verbose(self):
+        report = AnalysisReport(subject="t")
+        report.add(diag(severity=Severity.INFO, message="certificate"))
+        assert "certificate" not in report.render_text()
+        assert "certificate" in report.render_text(verbose=True)
+        assert "OK" in report.render_text()
+
+    def test_render_text_flags_errors(self):
+        report = AnalysisReport(subject="t")
+        report.add(diag(severity=Severity.ERROR, message="boom"))
+        text = report.render_text()
+        assert "boom" in text
+        assert "ILLEGAL" in text
+
+
+class TestAnalysisError:
+    def test_carries_report_and_summarizes(self):
+        report = AnalysisReport(subject="t")
+        for n in range(5):
+            report.add(diag(rule=f"XXX00{n}", message=f"finding {n}"))
+        err = AnalysisError(report)
+        assert err.report is report
+        assert "5 error(s)" in str(err)
+        assert "finding 0" in str(err)
+        assert "+2 more" in str(err)
+        assert isinstance(err, ValueError)
+
+    def test_is_raisable_from_gate(self):
+        from repro.analyze import gate
+        from repro.analyze.fixtures import make_carried_stencil
+
+        with pytest.raises(AnalysisError) as info:
+            gate(workload=make_carried_stencil())
+        assert any(d.rule_id == "PAR002" for d in info.value.report.errors)

@@ -1,0 +1,85 @@
+"""The opt-in pre-run gate in the compiler pipeline and the harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.analyze import AnalysisError
+from repro.analyze.fixtures import make_carried_stencil
+from repro.core.pipeline import LocationAwareCompiler
+from repro.experiments.harness import run_workload
+from repro.sim.config import DEFAULT_CONFIG, SystemConfig
+from repro.workloads.suite import build_workload
+
+
+def forced_config(**overrides) -> SystemConfig:
+    cfg = object.__new__(SystemConfig)
+    for f in dataclasses.fields(SystemConfig):
+        object.__setattr__(
+            cfg, f.name, overrides.get(f.name, getattr(DEFAULT_CONFIG, f.name))
+        )
+    return cfg
+
+
+class TestPipelineGate:
+    def test_gate_rejects_carried_nest(self):
+        workload = make_carried_stencil()
+        instance = workload.instantiate(
+            page_bytes=DEFAULT_CONFIG.page_bytes
+        )
+        compiler = LocationAwareCompiler(
+            DEFAULT_CONFIG, analyze_gate=True, check_parallelism=False
+        )
+        with pytest.raises(AnalysisError) as info:
+            compiler.compile(instance)
+        assert any(d.rule_id == "PAR002" for d in info.value.report.errors)
+
+    def test_gate_off_by_default(self):
+        compiler = LocationAwareCompiler(DEFAULT_CONFIG)
+        assert compiler.analyze_gate is False
+
+    def test_gate_passes_clean_workload(self):
+        workload = build_workload("mxm")
+        instance = workload.instantiate(
+            params={"N": 40}, page_bytes=DEFAULT_CONFIG.page_bytes
+        )
+        compiler = LocationAwareCompiler(DEFAULT_CONFIG, analyze_gate=True)
+        compiled = compiler.compile(instance)
+        assert compiled.schedules  # gate let a legal program through
+
+
+class TestHarnessGate:
+    def test_run_workload_gate_rejects_fixture(self):
+        with pytest.raises(AnalysisError):
+            run_workload(
+                make_carried_stencil(), DEFAULT_CONFIG, analyze_gate=True
+            )
+
+    def test_run_workload_gate_rejects_malformed_config(self):
+        # Malformed machine description (zero-latency L1) that dodged
+        # constructor validation: the gate must refuse to simulate.
+        bad = forced_config(l1_latency=0)
+        with pytest.raises(AnalysisError) as info:
+            run_workload(
+                build_workload("mxm"), bad, scale=0.25, analyze_gate=True
+            )
+        assert any(d.rule_id == "CFG003" for d in info.value.report.errors)
+
+    def test_run_workload_gate_passes_clean_pair(self):
+        result = run_workload(
+            build_workload("mxm"), DEFAULT_CONFIG, scale=0.25,
+            analyze_gate=True,
+        )
+        assert result.stats.execution_cycles > 0
+
+
+class TestConstructorValidation:
+    """The satellite half: malformed configs fail at construction."""
+
+    def test_indivisible_region_grid(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            SystemConfig(mesh_width=5, mesh_height=5)
+
+    def test_zero_latency(self):
+        with pytest.raises(ValueError, match="l1_latency"):
+            SystemConfig(l1_latency=0)

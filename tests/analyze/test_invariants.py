@@ -1,0 +1,178 @@
+"""Config/mapping invariant rules and the affinity vector validator."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    AnalysisContext,
+    analyze_config,
+    check_set_affinities,
+    run_rules,
+)
+from repro.analyze.framework import Rule, all_rules, get_rule, register_rule
+from repro.core.mapping import SetAffinity
+from repro.sim.config import DEFAULT_CONFIG, SystemConfig
+from repro.workloads.suite import build_workload
+
+
+def forced_config(**overrides) -> SystemConfig:
+    """Build a SystemConfig *bypassing* its constructor validation.
+
+    The analyzer is the second line of defense: it must catch malformed
+    machine descriptions even if they dodge ``__post_init__`` (e.g. via
+    deserialization).
+    """
+    cfg = object.__new__(SystemConfig)
+    for f in dataclasses.fields(SystemConfig):
+        object.__setattr__(
+            cfg, f.name, overrides.get(f.name, getattr(DEFAULT_CONFIG, f.name))
+        )
+    return cfg
+
+
+class TestConfigRules:
+    def test_default_config_is_clean(self):
+        report = analyze_config(DEFAULT_CONFIG)
+        assert report.ok
+        assert len(report) == 0
+
+    def test_ragged_region_grid_warns(self):
+        report = analyze_config(forced_config(mesh_width=5, mesh_height=5))
+        assert report.ok  # ragged is legal for RegionPartition, just risky
+        assert any(d.rule_id == "CFG001" for d in report.warnings)
+
+    def test_zero_latency_rejected(self):
+        report = analyze_config(forced_config(l1_latency=0))
+        assert not report.ok
+        assert any(d.rule_id == "CFG003" for d in report.errors)
+
+    def test_non_power_of_two_page_rejected(self):
+        report = analyze_config(forced_config(page_bytes=1000))
+        assert not report.ok
+        messages = [d.message for d in report.errors]
+        assert any("power" in m for m in messages)
+
+    def test_cache_too_small_for_one_set(self):
+        report = analyze_config(forced_config(l1_size_bytes=64))
+        assert any(
+            d.rule_id == "CFG003" and d.details.get("cache") == "l1"
+            for d in report.errors
+        )
+
+    def test_duplicate_mc_positions_detected(self):
+        # A 1x1 mesh collapses all four corner MCs onto one node.
+        report = analyze_config(forced_config(mesh_width=1, mesh_height=1,
+                                              region_w=1, region_h=1))
+        assert any(d.rule_id == "CFG002" for d in report.errors)
+
+    def test_mac_cac_tables_well_formed_on_variants(self):
+        for cfg in (DEFAULT_CONFIG, DEFAULT_CONFIG.private_llc(),
+                    DEFAULT_CONFIG.with_updates(mesh_width=8, mesh_height=8)):
+            report = analyze_config(cfg)
+            assert report.ok, report.render_text()
+
+
+class TestLoadBalanceRule:
+    def test_suite_workload_has_enough_sets(self):
+        ctx = AnalysisContext(
+            config=DEFAULT_CONFIG, workload=build_workload("mxm")
+        )
+        report = run_rules(ctx, rules=[get_rule("LB001")])
+        assert report.ok and len(report) == 0
+
+    def test_tiny_workload_warns(self):
+        from repro.analyze.fixtures import make_carried_stencil
+
+        ctx = AnalysisContext(
+            config=DEFAULT_CONFIG, workload=make_carried_stencil()
+        )
+        report = run_rules(ctx, rules=[get_rule("LB001")])
+        assert report.ok  # warning severity only
+        assert any(d.rule_id == "LB001" for d in report.warnings)
+
+
+class TestSetAffinityValidation:
+    def good(self, **overrides):
+        kwargs = dict(
+            set_id=0,
+            mai=np.array([0.25, 0.25, 0.25, 0.25]),
+            cai=np.full(9, 1.0 / 9),
+            alpha=0.5,
+            iterations=10,
+        )
+        kwargs.update(overrides)
+        return SetAffinity(**kwargs)
+
+    def check(self, sa):
+        return check_set_affinities([sa], num_mcs=4, num_regions=9,
+                                    subject="t")
+
+    def test_well_formed_passes(self):
+        assert self.check(self.good()) == []
+        # The all-zero vector is legal (a set with no off-chip accesses).
+        assert self.check(self.good(mai=np.zeros(4))) == []
+
+    def test_wrong_dimension(self):
+        findings = self.check(self.good(mai=np.array([0.5, 0.5])))
+        assert any("MAI" in d.message for d in findings)
+
+    def test_negative_mass(self):
+        findings = self.check(self.good(mai=np.array([1.5, -0.5, 0.0, 0.0])))
+        assert findings and all(d.rule_id == "AFF002" for d in findings)
+
+    def test_unnormalized_cai(self):
+        findings = self.check(self.good(cai=np.full(9, 0.5)))
+        assert any("CAI" in d.message for d in findings)
+
+    def test_alpha_out_of_range(self):
+        findings = self.check(self.good(alpha=1.5))
+        assert any("alpha" in d.message for d in findings)
+
+    def test_nonpositive_iterations(self):
+        findings = self.check(self.good(iterations=0))
+        assert any("iteration" in d.message for d in findings)
+
+
+class TestFramework:
+    def test_rule_ids_unique_and_sorted(self):
+        ids = [cls.rule_id for cls in all_rules()]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_duplicate_registration_rejected(self):
+        existing = all_rules()[0]
+
+        with pytest.raises(ValueError, match="duplicate rule id"):
+            @register_rule
+            class Clone(Rule):  # noqa: F811
+                rule_id = existing.rule_id
+
+    def test_crashing_rule_becomes_finding(self):
+        class Boom(Rule):
+            rule_id = "TST999"
+            title = "always crashes"
+
+            def check(self, ctx):
+                raise RuntimeError("kaput")
+
+        report = run_rules(AnalysisContext(config=DEFAULT_CONFIG),
+                           rules=[Boom])
+        assert not report.ok
+        [d] = report.errors
+        assert d.rule_id == "ANA999"
+        assert "kaput" in d.message
+
+    def test_inapplicable_rules_skipped(self):
+        # Workload-requiring rules must not run on a config-only context.
+        report = run_rules(AnalysisContext(config=DEFAULT_CONFIG))
+        assert not any(d.rule_id.startswith("PAR") for d in report)
+
+    def test_ignore_list(self):
+        from repro.analyze.fixtures import make_carried_stencil
+
+        ctx = AnalysisContext(workload=make_carried_stencil())
+        report = run_rules(ctx, ignore=("PAR000",))
+        assert report.ok
+        assert "PAR000" not in report.meta["rules_run"]

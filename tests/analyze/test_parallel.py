@@ -1,0 +1,190 @@
+"""Unit tests for the parallel-safety certifier and the Banerjee tier."""
+
+from repro.analyze import (
+    CertStatus,
+    PairKind,
+    certify_nest,
+    certify_program,
+    concrete_bounds,
+    feasible_carried_directions,
+)
+from repro.analyze.banerjee import LT, GT, LoopBound
+from repro.analyze.fixtures import (
+    make_carried_stencil,
+    make_coupled_subscript,
+    make_reduction_sum,
+    make_trusted_scatter,
+)
+from repro.ir.arrays import declare
+from repro.ir.builder import nest_builder
+from repro.ir.symbolic import Idx, Param
+
+I, J = Idx("i"), Idx("j")
+N = Param("N")
+
+
+def single_nest(workload):
+    return workload.program.nests[0], dict(workload.program.default_params)
+
+
+class TestCertifyNest:
+    def test_stencil_reads_certify(self):
+        A = declare("A", N)
+        B = declare("B", N)
+        nest = (
+            nest_builder("stencil")
+            .loop("i", 1, N - 1)
+            .reads(A(I - 1), A(I), A(I + 1))
+            .writes(B(I))
+            .build()
+        )
+        cert = certify_nest(nest, {"N": 64})
+        assert cert.status is CertStatus.CERTIFIED
+        assert cert.parallel_safe
+        assert [d.rule_id for d in cert.diagnostics] == ["PAR001"]
+
+    def test_carried_recurrence_refuted(self):
+        nest, params = single_nest(make_carried_stencil())
+        cert = certify_nest(nest, params)
+        assert cert.status is CertStatus.REFUTED
+        assert not cert.parallel_safe
+        [d] = [d for d in cert.diagnostics if d.rule_id == "PAR002"]
+        assert d.details["distance"] == [-1]
+        carried = [
+            e for e in cert.evidence if e.kind is PairKind.UNIFORM_CARRIED
+        ]
+        assert carried and carried[0].distance == (-1,)
+
+    def test_distance_beyond_extent_is_independent(self):
+        # A[i] vs A[i-100] in a 10-iteration loop: the "dependence" never
+        # materializes inside the iteration space.
+        A = declare("A", N)
+        nest = (
+            nest_builder("far")
+            .loop("i", 0, 10)
+            .reads(A(I - 100))
+            .writes(A(I))
+            .build()
+        )
+        cert = certify_nest(nest, {"N": 200})
+        assert cert.status is CertStatus.CERTIFIED
+
+    def test_stride_parity_certified_by_gcd(self):
+        # write A[2i], read A[2i+1]: disjoint parities.
+        A = declare("A", N)
+        nest = (
+            nest_builder("parity")
+            .loop("i", 0, N)
+            .reads(A(2 * I + 1))
+            .writes(A(2 * I))
+            .build()
+        )
+        cert = certify_nest(nest, {"N": 32})
+        assert cert.status is CertStatus.CERTIFIED
+
+    def test_coupled_subscript_assumed(self):
+        nest, params = single_nest(make_coupled_subscript())
+        cert = certify_nest(nest, params)
+        assert cert.status is CertStatus.ASSUMED
+        assert cert.parallel_safe  # trusted, not refuted
+        assert any(d.rule_id == "PAR004" for d in cert.diagnostics)
+
+    def test_reduction_shape_warned_not_refuted(self):
+        nest, params = single_nest(make_reduction_sum())
+        cert = certify_nest(nest, params)
+        assert cert.status is CertStatus.ASSUMED
+        # Both the read/write pair and the write self-pair are flagged.
+        ds = [d for d in cert.diagnostics if d.rule_id == "PAR005"]
+        assert ds
+        assert all(d.details["free_loops"] == ["j"] for d in ds)
+        assert not any(d.rule_id == "PAR002" for d in cert.diagnostics)
+
+    def test_indirect_scatter_trusted(self):
+        nest, params = single_nest(make_trusted_scatter())
+        cert = certify_nest(nest, params)
+        assert cert.status is CertStatus.TRUSTED
+        assert any(d.rule_id == "PAR003" for d in cert.diagnostics)
+
+    def test_sequential_nest_skipped(self):
+        A = declare("A", N)
+        nest = (
+            nest_builder("seq")
+            .loop("i", 1, N)
+            .reads(A(I - 1))
+            .writes(A(I))
+            .sequential()
+            .build()
+        )
+        cert = certify_nest(nest, {"N": 64})
+        assert cert.status is CertStatus.SEQUENTIAL
+        assert cert.pairs_checked == 0
+        assert [d.rule_id for d in cert.diagnostics] == ["PAR006"]
+
+    def test_read_only_pairs_ignored(self):
+        A = declare("A", N)
+        B = declare("B", N)
+        nest = (
+            nest_builder("reads")
+            .loop("i", 0, N)
+            .reads(A(I), A(I + 1))
+            .writes(B(I))
+            .build()
+        )
+        cert = certify_nest(nest, {"N": 16})
+        # Only the B self-pair counts; A read/read pairs are no conflict.
+        assert cert.pairs_checked == 1
+        assert cert.status is CertStatus.CERTIFIED
+
+    def test_symbolic_bounds_fall_back_to_assumed(self):
+        # Unbound N: the Banerjee tier is unavailable, and a coupled pair
+        # must degrade to a warning rather than a wrong certificate.
+        A = declare("A", N)
+        nest = (
+            nest_builder("symbolic")
+            .loop("i", 0, N)
+            .loop("j", 0, N)
+            .reads(A(I))
+            .writes(A(I + J))
+            .build()
+        )
+        cert = certify_nest(nest, {})
+        assert cert.status is CertStatus.ASSUMED
+
+    def test_certify_program_covers_all_nests(self):
+        workload = make_carried_stencil()
+        certs = certify_program(workload.program)
+        assert [c.nest for c in certs] == ["fixture.carried"]
+
+
+class TestBanerjee:
+    def test_concrete_bounds_resolution(self):
+        nest, _ = single_nest(make_carried_stencil())
+        bounds = concrete_bounds(nest.domain, {"N": 8})
+        assert bounds == [LoopBound("i", 1, 7)]
+        assert concrete_bounds(nest.domain, {}) is None  # still symbolic
+
+    def test_independent_pair_has_no_directions(self):
+        A = declare("A", N)
+        fs = [A(2 * I).indices[0]]
+        gs = [A(2 * I + 1).indices[0]]
+        assert feasible_carried_directions(fs, gs, [LoopBound("i", 0, 9)]) == []
+
+    def test_recurrence_direction_survives(self):
+        A = declare("A", N)
+        write = A(I).indices[0]
+        read = A(I - 1).indices[0]
+        bounds = [LoopBound("i", 1, 9)]
+        vectors = feasible_carried_directions([write], [read], bounds)
+        # A solution needs i' = i + 1, i.e. the "<" direction only.
+        assert vectors == [(LT,)]
+        # The reversed pair sees it as ">".
+        assert feasible_carried_directions([read], [write], bounds) == [(GT,)]
+
+    def test_single_trip_loop_cannot_carry(self):
+        A = declare("A", N)
+        write = A(I).indices[0]
+        read = A(I - 1).indices[0]
+        assert (
+            feasible_carried_directions([write], [read], [LoopBound("i", 3, 3)])
+            == []
+        )

@@ -1,0 +1,82 @@
+"""Acceptance: the bundled suite is certified clean, fixtures are not.
+
+This is the PR's contract with the rest of the repo: ``repro analyze``
+must exit 0 over all 21 benchmarks (zero false positives), every regular
+workload's parallel annotations must be certified or explicitly trusted,
+and the shipped fixtures must each trip their designated rule.
+"""
+
+import pytest
+
+from repro.analyze import CertStatus, analyze_run, certify_program
+from repro.analyze.fixtures import FIXTURES, build_fixture
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads.suite import SUITE_ORDER, build_workload
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+def test_suite_workload_has_no_errors(name):
+    workload = build_workload(name)
+    report = analyze_run(workload=workload, config=DEFAULT_CONFIG)
+    assert report.ok, report.render_text(verbose=True)
+
+
+@pytest.mark.parametrize("name", SUITE_ORDER)
+def test_no_suite_nest_is_refuted(name):
+    workload = build_workload(name)
+    for cert in certify_program(workload.program):
+        assert cert.status is not CertStatus.REFUTED, cert.nest
+        assert cert.parallel_safe
+
+
+def test_fully_affine_workloads_certify_outright():
+    # The cleanest regular codes must get the positive certificate, not
+    # merely a trusted pass-through.
+    for name in ("mxm", "jacobi-3d", "swim", "minighost", "diff"):
+        workload = build_workload(name)
+        statuses = {
+            c.nest: c.status for c in certify_program(workload.program)
+        }
+        assert all(
+            s in (CertStatus.CERTIFIED, CertStatus.SEQUENTIAL)
+            for s in statuses.values()
+        ), statuses
+
+
+def test_indirect_writers_are_trusted_not_certified():
+    # Codes that *write* through an index array can never be proven safe
+    # statically: they must land on the trusted-annotation tier.
+    for name in ("equake", "radix"):
+        workload = build_workload(name)
+        statuses = [c.status for c in certify_program(workload.program)]
+        assert CertStatus.REFUTED not in statuses
+        assert CertStatus.TRUSTED in statuses, (name, statuses)
+
+
+def test_indirect_readers_with_affine_writes_certify():
+    # moldyn/nbf gather through index arrays but write affinely: the
+    # read-side indirection cannot conflict with the disjoint writes, so
+    # the verifier can still hand out the full certificate.
+    for name in ("moldyn", "nbf"):
+        workload = build_workload(name)
+        for cert in certify_program(workload.program):
+            assert cert.status in (
+                CertStatus.CERTIFIED, CertStatus.SEQUENTIAL
+            ), (name, cert.nest, cert.status)
+
+
+EXPECTED_FIXTURE_RULES = {
+    "carried-stencil": "PAR002",
+    "coupled-subscript": "PAR004",
+    "reduction-sum": "PAR005",
+    "trusted-scatter": "PAR003",
+}
+
+
+@pytest.mark.parametrize("name", sorted(FIXTURES))
+def test_each_fixture_trips_its_rule(name):
+    report = analyze_run(workload=build_fixture(name), config=DEFAULT_CONFIG)
+    rules = {d.rule_id for d in report}
+    assert EXPECTED_FIXTURE_RULES[name] in rules
+    # Only the carried fixture is an error; the others document trust.
+    assert report.ok == (name != "carried-stencil")

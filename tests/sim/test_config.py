@@ -111,3 +111,54 @@ class TestVariants:
             SystemConfig(stall_overlap=1.0)
         with pytest.raises(ValueError):
             SystemConfig(iteration_set_fraction=0.0)
+
+
+class TestConstructorValidation:
+    """Defensive checks: malformed machine descriptions fail fast with
+    actionable messages instead of corrupting a simulation later."""
+
+    def test_nonpositive_mesh(self):
+        with pytest.raises(ValueError, match="mesh dimensions"):
+            SystemConfig(mesh_width=0)
+
+    def test_region_larger_than_mesh(self):
+        with pytest.raises(ValueError, match="do not fit"):
+            SystemConfig(region_w=7)
+
+    def test_mesh_not_divisible_by_region(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            SystemConfig(mesh_width=5, mesh_height=5)
+
+    def test_message_suggests_remedy(self):
+        with pytest.raises(ValueError, match="RegionPartition"):
+            SystemConfig(mesh_height=5)
+
+    def test_nonpositive_latencies(self):
+        for field in ("l1_latency", "llc_latency", "router_delay"):
+            with pytest.raises(ValueError, match=field):
+                SystemConfig(**{field: 0})
+
+    def test_non_power_of_two_lines_and_pages(self):
+        with pytest.raises(ValueError, match="power of two"):
+            SystemConfig(l2_line_bytes=48)
+        with pytest.raises(ValueError, match="power of two"):
+            SystemConfig(page_bytes=3000)
+
+    def test_page_smaller_than_line(self):
+        with pytest.raises(ValueError, match="straddle"):
+            SystemConfig(page_bytes=32, l2_line_bytes=64)
+
+    def test_cache_must_hold_one_set(self):
+        with pytest.raises(ValueError, match="l1_size_bytes"):
+            SystemConfig(l1_size_bytes=128)  # 8-way x 32 B needs 256 B
+        with pytest.raises(ValueError, match="assoc"):
+            SystemConfig(l2_assoc=0)
+
+    def test_mc_buffer_positive(self):
+        with pytest.raises(ValueError, match="mc_buffer_entries"):
+            SystemConfig(mc_buffer_entries=0)
+
+    def test_all_sensitivity_variants_still_construct(self):
+        # The Figure 9 sweep must survive the stricter constructor.
+        for variant in sensitivity_variants(DEFAULT_CONFIG).values():
+            assert variant.num_cores >= 36

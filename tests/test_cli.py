@@ -43,6 +43,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["heatmap", "mxm", "--metric", "vibes"])
 
+    def test_analyze_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.apps == []
+        assert args.fixture == ""
+        assert not args.config_only
+        assert args.json == ""
+
+    def test_analyze_rejects_unknown_app_and_fixture(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "doom"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "--fixture", "nonsense"])
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -108,3 +121,60 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "node,x,y,value" in out
         assert "src,dst" in out  # the link metric's CSV header
+
+
+class TestAnalyzeCommand:
+    def test_clean_apps_exit_zero(self, capsys):
+        assert main(["analyze", "mxm", "jacobi-3d"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "0 error(s)" in out
+
+    def test_whole_suite_exits_zero(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed 21 subject(s)" in out
+
+    def test_fixture_exits_nonzero(self, capsys):
+        assert main(["analyze", "--fixture", "carried-stencil"]) == 1
+        out = capsys.readouterr().out
+        assert "PAR002" in out
+        assert "ILLEGAL" in out
+
+    def test_verbose_shows_certificates(self, capsys):
+        assert main(["analyze", "mxm", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "PAR001" in out  # the positive certificate is info-tier
+
+    def test_config_only(self, capsys):
+        assert main(["analyze", "--config-only"]) == 0
+        out = capsys.readouterr().out
+        assert "analyzed 1 subject(s)" in out
+
+    def test_json_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "diag.json"
+        assert main([
+            "analyze", "mxm", "--fixture", "carried-stencil",
+            "--json", str(path),
+        ]) == 1
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro.analyze/1"
+        assert payload["summary"]["ok"] is False
+        assert len(payload["reports"]) == 2
+        rules = {
+            d["rule"] for r in payload["reports"] for d in r["diagnostics"]
+        }
+        assert "PAR002" in rules
+
+    def test_list_rules(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in ("PAR000", "CFG001", "AFF001", "LB001"):
+            assert rule in out
+
+    def test_run_gate_flag(self, capsys):
+        assert main(["run", "mxm", "--scale", "0.25", "--gate"]) == 0
+        out = capsys.readouterr().out
+        assert "execution cycles" in out
