@@ -1,0 +1,110 @@
+"""Parallel sweep throughput and cache-replay latency guards.
+
+Runs the full 21-benchmark suite three ways -- serial cold, 4-worker
+cold (populating a cache), and 4-worker warm replay -- verifies all
+three produce identical payloads, then asserts:
+
+* the warm replay costs < 25% of the cold serial sweep (unconditional:
+  replay does no simulation, only JSON reads);
+* the 4-worker cold sweep is >= 2x faster than serial, asserted only
+  when the machine actually exposes >= 4 usable CPUs (a 1-CPU container
+  cannot honestly measure parallel speedup; the measurement is still
+  recorded either way).
+
+The measured point is appended to ``BENCH_parallel.json`` at the
+repository root as a perf trajectory record.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_perf_parallel.py -q
+
+``REPRO_BENCH_SCALE`` overrides the workload scale (default 0.4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+from pathlib import Path
+
+from repro.exec import ResultCache, run_sweep, sweep_matrix
+from repro.obs import config_hash, package_version
+from repro.sim.config import DEFAULT_CONFIG
+from repro.workloads import SUITE_ORDER
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+WORKERS = 4
+MIN_SPEEDUP = 2.0
+MAX_WARM_FRACTION = 0.25
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def test_parallel_sweep_and_cache_replay_speed():
+    cells = sweep_matrix(SUITE_ORDER, DEFAULT_CONFIG, scales=(SCALE,))
+    cpus = _usable_cpus()
+
+    serial = run_sweep(cells, workers=1)
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        cold = run_sweep(cells, workers=WORKERS, cache=cache)
+        warm = run_sweep(cells, workers=WORKERS, cache=cache)
+
+    # A throughput claim is only meaningful if the work really was equal.
+    assert cold.payloads() == serial.payloads()
+    assert warm.payloads() == serial.payloads()
+    assert warm.hit_rate == 1.0
+
+    speedup = serial.wall_seconds / cold.wall_seconds
+    warm_fraction = warm.wall_seconds / serial.wall_seconds
+
+    record = {
+        "benchmark": "parallel_sweep_vs_serial",
+        "suite": f"{len(cells)} apps @ scale {SCALE}",
+        "workers": WORKERS,
+        "usable_cpus": cpus,
+        "serial_seconds": round(serial.wall_seconds, 3),
+        "parallel_cold_seconds": round(cold.wall_seconds, 3),
+        "cache_warm_seconds": round(warm.wall_seconds, 3),
+        "speedup": round(speedup, 2),
+        "warm_fraction_of_serial": round(warm_fraction, 4),
+        "min_speedup_required": MIN_SPEEDUP,
+        "speedup_asserted": cpus >= WORKERS,
+        "manifest": {
+            "config_hash": config_hash(DEFAULT_CONFIG),
+            "version": package_version(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    history = []
+    if BENCH_PATH.exists():
+        history = json.loads(BENCH_PATH.read_text())
+    history.append(record)
+    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+    print(
+        f"\nsweep throughput: serial {serial.wall_seconds:.2f}s, "
+        f"{WORKERS}-worker cold {cold.wall_seconds:.2f}s "
+        f"(speedup {speedup:.2f}x on {cpus} CPU(s)), "
+        f"warm replay {warm.wall_seconds:.2f}s "
+        f"({100 * warm_fraction:.1f}% of serial)"
+    )
+
+    assert warm_fraction < MAX_WARM_FRACTION, (
+        f"cache-warm replay took {100 * warm_fraction:.1f}% of the cold "
+        f"serial sweep (floor: {100 * MAX_WARM_FRACTION:.0f}%)"
+    )
+    if cpus >= WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"{WORKERS}-worker speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor on a {cpus}-CPU machine"
+        )

@@ -4,7 +4,11 @@ Commands:
 
 * ``list``                          -- the 21 benchmarks and their metadata
 * ``analyze [APP ...] [--json F]``  -- static safety/legality verification
-* ``run APP [--mapping M] [...]``   -- simulate one app, print stats
+* ``run [APP ...] [--mapping M] [--workers N] [--cache-dir D] [--resume]``
+                                    -- simulate one or many apps; with
+                                       ``--workers``/``--cache-dir`` the
+                                       sweep runs sharded + memoized
+* ``cache {stats,clear}``           -- inspect / empty a result cache
 * ``compare APP [...]``             -- default vs location-aware side by side
 * ``profile APP [...]``             -- phase breakdown + manifest for one run
 * ``heatmap APP [--metric M] [...]``-- spatial traffic over the mesh
@@ -18,6 +22,9 @@ Examples::
     python -m repro analyze --fixture carried-stencil   # exits 1
     python -m repro compare mxm --scale 0.6
     python -m repro run nbf --mapping la --llc private
+    python -m repro run --suite --workers 4 --cache-dir .repro-cache
+    python -m repro run mxm nbf --workers 2 --resume --json sweep.json
+    python -m repro cache stats --cache-dir .repro-cache
     python -m repro profile mxm --mapping la --events /tmp/mxm.jsonl
     python -m repro heatmap mxm --metric mc --mapping la
     python -m repro figure fig09 --apps mxm,nbf --scale 0.5
@@ -151,21 +158,104 @@ def cmd_analyze(args) -> int:
     return exit_code
 
 
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _resolve_cache_dir(args) -> Optional[str]:
+    """--cache-dir enables the result cache; --resume implies the default
+    location when no directory was given."""
+    if getattr(args, "cache_dir", ""):
+        return args.cache_dir
+    if getattr(args, "resume", False):
+        return DEFAULT_CACHE_DIR
+    return None
+
+
 def cmd_run(args) -> int:
-    workload = build_workload(args.app)
-    result = run_workload(
-        workload, _config(args), mapping=args.mapping, scale=args.scale,
-        analyze_gate=args.gate,
+    apps = list(args.apps)
+    if args.suite:
+        apps = list(SUITE_ORDER)
+    if not apps:
+        print("no applications given (name apps or pass --suite)",
+              file=sys.stderr)
+        return 2
+    config = _config(args)
+    cache_dir = _resolve_cache_dir(args)
+
+    if len(apps) == 1 and args.workers == 1 and cache_dir is None:
+        # The classic single-run path, unchanged.
+        workload = build_workload(apps[0])
+        result = run_workload(
+            workload, config, mapping=args.mapping, scale=args.scale,
+            analyze_gate=args.gate,
+        )
+        s = result.stats
+        print(f"{apps[0]} [{args.mapping}, {args.llc} LLC, "
+              f"scale {args.scale}]")
+        print(f"  execution cycles:    {s.execution_cycles:,}")
+        print(f"  avg network latency: {s.avg_network_latency:.1f} "
+              "cycles/packet")
+        print(f"  avg hops:            {s.avg_hops:.2f}")
+        print(f"  L1 hit rate:         {s.l1_hit_rate:.3f}")
+        print(f"  LLC miss rate:       {s.llc_miss_rate:.3f}")
+        if s.overhead_cycles:
+            print(f"  runtime overhead:    {100 * s.overhead_fraction:.2f}%")
+        return 0
+
+    # Sweep path: shard the (app x mapping) cells over the executor.
+    from repro.exec import run_sweep, sweep_matrix, sweep_table
+
+    if args.gate:
+        from repro.analyze import gate as analyze_gate
+
+        for app in apps:
+            analyze_gate(workload=build_workload(app), config=config)
+    cells = sweep_matrix(
+        apps, config, mappings=(args.mapping,), scales=(args.scale,)
     )
-    s = result.stats
-    print(f"{args.app} [{args.mapping}, {args.llc} LLC, scale {args.scale}]")
-    print(f"  execution cycles:    {s.execution_cycles:,}")
-    print(f"  avg network latency: {s.avg_network_latency:.1f} cycles/packet")
-    print(f"  avg hops:            {s.avg_hops:.2f}")
-    print(f"  L1 hit rate:         {s.l1_hit_rate:.3f}")
-    print(f"  LLC miss rate:       {s.llc_miss_rate:.3f}")
-    if s.overhead_cycles:
-        print(f"  runtime overhead:    {100 * s.overhead_fraction:.2f}%")
+    result = run_sweep(cells, workers=args.workers, cache_dir=cache_dir)
+    print(sweep_table(
+        result,
+        title=(f"sweep [{args.mapping}, {args.llc} LLC, "
+               f"scale {args.scale}, workers {args.workers}]"),
+    ))
+    summary = result.summary()
+    print()
+    print(f"wall time: {summary['wall_seconds']:.2f}s  "
+          f"workers: {summary['workers']}")
+    if cache_dir is not None:
+        print(f"cache: {summary['cache_hits']} hit(s), "
+              f"{summary['cache_misses']} miss(es) "
+              f"({100 * summary['cache_hit_rate']:.1f}% hit rate) "
+              f"-> {cache_dir}")
+    if summary["retries"] or summary["fallbacks"]:
+        print(f"recovered: {summary['retries']} retri(es), "
+              f"{summary['fallbacks']} in-process fallback(s)")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"sweep summary JSON -> {args.json}")
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from repro.exec import ResultCache
+
+    cache = ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached entr(ies) from {cache.root}")
+        return 0
+    stats = cache.stats()
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(stats, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(f"cache at {stats['root']} (schema v{stats['schema']})")
+    print(f"  entries:     {stats['entries']}")
+    print(f"  bytes:       {stats['bytes']:,}")
+    print(f"  quarantined: {stats['quarantined']}")
     return 0
 
 
@@ -316,13 +406,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the rule catalogue and exit")
 
     for name, help_text in (
-        ("run", "simulate one application"),
+        ("run", "simulate one application, or a sharded sweep of many"),
         ("compare", "default vs optimized mapping"),
         ("profile", "phase breakdown, distributions, run manifest"),
         ("heatmap", "spatial traffic heatmaps over the mesh"),
     ):
         p = sub.add_parser(name, help=help_text)
-        p.add_argument("app", choices=SUITE_ORDER)
+        if name == "run":
+            p.add_argument("apps", nargs="*", choices=[[]] + list(SUITE_ORDER),
+                           help="applications to run (default: none; "
+                                "--suite selects all 21)")
+        else:
+            p.add_argument("app", choices=SUITE_ORDER)
         p.add_argument("--mapping", default="default" if name == "run" else
                        "la", choices=MAPPINGS)
         p.add_argument("--llc", default="shared",
@@ -332,6 +427,20 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--gate", action="store_true",
                            help="run the static analyzer first; refuse to "
                                 "simulate on error findings")
+            p.add_argument("--suite", action="store_true",
+                           help="run the whole 21-benchmark suite")
+            p.add_argument("--workers", type=int, default=1,
+                           help="process-pool width for the sweep path "
+                                "(default 1 = serial)")
+            p.add_argument("--cache-dir", default="",
+                           help="memoize completed cells in this "
+                                "content-addressed cache directory")
+            p.add_argument("--resume", action="store_true",
+                           help="reuse completed cells from the cache "
+                                f"(default dir: {DEFAULT_CACHE_DIR})")
+            p.add_argument("--json", default="",
+                           help="write the sweep summary (cache hits, "
+                                "wall time) to this JSON file")
         if name == "profile":
             p.add_argument("--level", default="decisions", choices=LEVELS,
                            help="event stream verbosity")
@@ -342,6 +451,13 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=HEATMAP_METRICS + ("all",))
             p.add_argument("--format", default="ascii",
                            choices=("ascii", "csv"))
+
+    p = sub.add_parser("cache", help="inspect or clear a sweep result cache")
+    p.add_argument("action", choices=("stats", "clear"))
+    p.add_argument("--cache-dir", default="",
+                   help=f"cache directory (default: {DEFAULT_CACHE_DIR})")
+    p.add_argument("--json", default="",
+                   help="also write the stats to this JSON file")
 
     p = sub.add_parser("figure", help="regenerate one figure's data")
     p.add_argument("name", choices=sorted(FIGURES))
@@ -356,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "analyze": cmd_analyze,
         "run": cmd_run,
+        "cache": cmd_cache,
         "compare": cmd_compare,
         "profile": cmd_profile,
         "heatmap": cmd_heatmap,

@@ -37,6 +37,16 @@ from .mapping import Mapper, PlacementStrategy, Schedule, SetAffinity
 from .proximity import MacMode
 from .regions import RegionPartition
 
+PIPELINE_VERSION = 1
+"""Semantic version of the mapping/simulation pipeline.
+
+Bump this whenever a change alters what any (workload, config, mapping,
+seed) cell *computes* -- compiler heuristics, engine timing, estimator
+behaviour.  The sweep executor folds it into every content-addressed
+cache key (:mod:`repro.exec`), so stale results from an older pipeline
+can never be replayed as current ones.
+"""
+
 
 @dataclass
 class CompiledSchedule:

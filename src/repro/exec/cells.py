@@ -1,0 +1,180 @@
+"""Sweep cells: the unit of work of the sharded experiment executor.
+
+A :class:`SweepCell` pins everything that determines one simulated result:
+the workload spec, the full :class:`~repro.sim.config.SystemConfig`, the
+mapping, scale, trip count, estimator accuracy and the seed.  Cells are
+
+* **independent** -- no cell reads another cell's machine state, so any
+  partition of a sweep into shards executes the same computations;
+* **picklable** -- a cell carries only names and plain config data, never
+  a live workload or machine, so it crosses process boundaries cheaply
+  and each worker rebuilds its own instances;
+* **content-addressed** -- :meth:`SweepCell.key` digests the cell identity
+  together with the cache schema and pipeline code versions
+  (:func:`repro.obs.manifest.sweep_cache_key`), which is what the on-disk
+  result cache files entries under.
+
+``workload`` is either a suite benchmark name (``"mxm"``) or a
+``"module:factory"`` spec resolved by import -- the latter is how test
+fixtures (e.g. crash-injection workloads) run through the production
+executor without registering themselves in the suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import PIPELINE_VERSION
+from repro.obs.manifest import _normalize, sweep_cache_key
+from repro.sim.config import SystemConfig
+from repro.workloads import build_workload
+from repro.workloads.base import Workload
+
+CACHE_SCHEMA_VERSION = 1
+"""Schema of cached cell payloads.  Bump on any payload layout change:
+the version is folded into every cache key AND stored in every entry, so
+old entries become unreadable misses rather than silently misparsed."""
+
+DEFAULT_BASE_SEED = 11
+"""Base seed the per-cell seed derivation folds in (the harness default)."""
+
+KWPairs = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_args(args: Any) -> KWPairs:
+    """Normalize factory kwargs to a sorted, hashable tuple of pairs."""
+    if not args:
+        return ()
+    if isinstance(args, dict):
+        items: Iterable[Tuple[str, Any]] = args.items()
+    else:
+        items = ((str(k), v) for k, v in args)
+    return tuple(sorted((str(k), v) for k, v in items))
+
+
+def resolve_workload(spec: str, args: Optional[Dict[str, Any]] = None) -> Workload:
+    """Build the workload a cell names.
+
+    A bare name resolves through the suite registry; a ``module:factory``
+    spec imports ``module`` and calls ``factory(**args)``.
+    """
+    if ":" in spec:
+        module_name, _, attr = spec.partition(":")
+        factory = getattr(importlib.import_module(module_name), attr)
+        return factory(**(args or {}))
+    if args:
+        raise ValueError(
+            f"workload_args only apply to module:factory specs, got {spec!r}"
+        )
+    return build_workload(spec)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One independent (workload, config, policy) experiment."""
+
+    workload: str
+    config: SystemConfig
+    mapping: str = "default"
+    scale: float = 1.0
+    trips: Optional[int] = None
+    cme_accuracy: float = 0.85
+    observe: bool = False
+    collect_obs: bool = False
+    seed: Optional[int] = None
+    workloads: Tuple[str, ...] = ()
+    workload_args: KWPairs = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workload_args", _freeze_args(self.workload_args)
+        )
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+
+    @property
+    def kind(self) -> str:
+        """``"single"`` (one app) or ``"multiprog"`` (a co-scheduled bundle,
+        named by ``workloads``; ``workload`` is then just the bundle label)."""
+        return "multiprog" if self.workloads else "single"
+
+    # -- identity ---------------------------------------------------------
+    def identity(self) -> Dict[str, Any]:
+        """Everything that determines this cell's result, except the seed."""
+        return {
+            "kind": self.kind,
+            "workload": self.workload,
+            "workloads": list(self.workloads),
+            "workload_args": _normalize(dict(self.workload_args)),
+            "mapping": self.mapping,
+            "scale": self.scale,
+            "trips": self.trips,
+            "cme_accuracy": self.cme_accuracy,
+            "observe": self.observe,
+            "collect_obs": self.collect_obs,
+        }
+
+    def effective_seed(self, base: int = DEFAULT_BASE_SEED) -> int:
+        """The seed this cell actually runs with.
+
+        An explicit ``seed`` wins.  Otherwise the seed is derived from the
+        same material the run manifest pins -- the config hash plus the
+        cell identity -- so every cell of a sweep gets its own stream,
+        reproducibly: the derivation depends only on cell content, never
+        on worker id, shard order, or wall clock.
+        """
+        if self.seed is not None:
+            return self.seed
+        material = json.dumps(
+            {
+                "base": base,
+                "config": _normalize(self.config),
+                **self.identity(),
+            },
+            sort_keys=True,
+        )
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") % (2**31 - 1)
+
+    def key(self) -> str:
+        """Content-addressed cache key (config + identity + versions)."""
+        return sweep_cache_key(
+            self.config,
+            schema=CACHE_SCHEMA_VERSION,
+            pipeline=PIPELINE_VERSION,
+            seed=self.effective_seed(),
+            **self.identity(),
+        )
+
+    def label(self) -> str:
+        """Short human-readable cell name for tables and events."""
+        name = self.workload if self.kind == "single" else "+".join(self.workloads)
+        return f"{name}[{self.mapping}]"
+
+
+def sweep_matrix(
+    apps: Sequence[str],
+    config: SystemConfig,
+    mappings: Sequence[str] = ("default",),
+    scales: Sequence[float] = (1.0,),
+    **common: Any,
+) -> List[SweepCell]:
+    """Partition a sweep into its independent cells.
+
+    The cross product apps x mappings x scales, in that nesting order --
+    the canonical serial iteration order, which the equivalence suite uses
+    as the reference ordering.  ``common`` forwards to every cell
+    (``seed=...``, ``collect_obs=True``, ...).
+    """
+    return [
+        SweepCell(
+            workload=app, config=config, mapping=mapping, scale=scale,
+            **common,
+        )
+        for app in apps
+        for mapping in mappings
+        for scale in scales
+    ]

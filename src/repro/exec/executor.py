@@ -1,0 +1,515 @@
+"""Sharded sweep executor: process-pool fan-out, memoization, crash retry.
+
+``run_sweep`` takes a list of independent :class:`~repro.exec.cells.
+SweepCell`\\ s and produces one payload per cell, with three guarantees the
+equivalence suite (``tests/exec``) enforces:
+
+* **Determinism** -- a cell's payload depends only on the cell, never on
+  worker count, shard order, cache state, or which attempt succeeded.
+  Every path (serial loop, pool worker, in-process fallback, cache
+  replay) funnels through :func:`execute_cell`, whose seed comes from
+  :meth:`SweepCell.effective_seed`, and every payload is normalized
+  through a JSON round-trip so replayed and freshly-computed results are
+  literally ``==``.
+* **Memoization** -- with a :class:`~repro.exec.cache.ResultCache`,
+  completed cells are skipped on re-runs and resumed sweeps; duplicate
+  cells within one sweep are computed once and shared.
+* **Crash survival** -- a worker that raises, hard-exits (killing the
+  pool), or hangs past ``cell_timeout`` triggers bounded retry with
+  exponential backoff; a cell that exhausts its retries degrades to
+  in-process execution in the coordinator, so one pathological cell slows
+  the sweep down but cannot sink it.
+
+Workers are forked (where the platform allows), so cells run against the
+same interpreter state and ``sys.path`` as the coordinator; each worker
+rebuilds its own workload/machine from the cell spec -- no live simulator
+object ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs import EventStream, Telemetry
+
+from .cache import ResultCache
+from .cells import SweepCell, resolve_workload
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF_BASE = 0.05
+
+
+class SweepError(RuntimeError):
+    """A cell failed even after retries and the in-process fallback."""
+
+
+# ----------------------------------------------------------------------
+# Cell execution (runs in workers, the coordinator, and the serial path)
+# ----------------------------------------------------------------------
+def execute_cell(cell: SweepCell) -> Dict[str, Any]:
+    """Run one cell end to end; returns its JSON-normalized payload.
+
+    Must stay a module-level function: it is the picklable entry point
+    ``ProcessPoolExecutor`` ships to workers.
+    """
+    seed = cell.effective_seed()
+    if cell.kind == "multiprog":
+        from repro.experiments.multiprog import run_multiprogrammed
+
+        bundle = [resolve_workload(name) for name in cell.workloads]
+        result = run_multiprogrammed(
+            bundle,
+            cell.config,
+            mapping=cell.mapping,
+            scale=cell.scale,
+            cme_accuracy=cell.cme_accuracy,
+            seed=seed,
+        )
+        payload: Dict[str, Any] = {
+            "kind": "multiprog",
+            "makespan": result.makespan,
+            "finish_times": result.finish_times,
+        }
+    else:
+        from repro.experiments.harness import run_workload
+
+        workload = resolve_workload(cell.workload, dict(cell.workload_args))
+        telemetry = (
+            Telemetry(events=EventStream(level="off"))
+            if cell.collect_obs
+            else None
+        )
+        result = run_workload(
+            workload,
+            cell.config,
+            mapping=cell.mapping,
+            scale=cell.scale,
+            trips=cell.trips,
+            cme_accuracy=cell.cme_accuracy,
+            observe=cell.observe,
+            seed=seed,
+            telemetry=telemetry,
+        )
+        payload = {
+            "kind": "single",
+            "stats": dataclasses.asdict(result.stats),
+            "moved_fraction": result.moved_fraction,
+        }
+        if telemetry is not None:
+            payload["obs"] = {
+                "spatial": (
+                    telemetry.spatial.as_dict()
+                    if telemetry.spatial is not None
+                    else None
+                ),
+                "histograms": {
+                    name: hist.items()
+                    for name, hist in sorted(telemetry.histograms.items())
+                },
+            }
+    # JSON round-trip: tuples become lists, keys become strings -- the
+    # exact shape a cache replay would produce, so fresh and replayed
+    # payloads compare equal with no special-casing.
+    return json.loads(json.dumps(payload, sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class CellResult:
+    """One cell's payload plus how it was obtained."""
+
+    cell: SweepCell
+    key: str
+    payload: Dict[str, Any]
+    from_cache: bool = False
+    attempts: int = 1
+    in_process: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """All cell results, in input-cell order regardless of completion order."""
+
+    results: List[CellResult]
+    workers: int
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fallbacks: int = 0
+    retries: int = 0
+
+    def by_key(self) -> Dict[str, CellResult]:
+        return {r.key: r for r in self.results}
+
+    def payloads(self) -> Dict[str, Dict[str, Any]]:
+        """key -> payload; the equivalence suite's comparison object."""
+        return {r.key: r.payload for r in self.results}
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "cells": len(self.results),
+            "unique_cells": len({r.key for r in self.results}),
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_rate": round(self.hit_rate, 4),
+            "retries": self.retries,
+            "fallbacks": self.fallbacks,
+        }
+
+
+def sweep_table(result: SweepResult, title: str = "sweep results") -> str:
+    """Deterministic text table over a sweep's payloads.
+
+    Rows are sorted by cell label (see ``app_metric_table(sort_rows=
+    True)``): the rendered bytes -- and hence any golden-snapshot hash of
+    them -- are identical however the sweep was sharded or replayed.
+    """
+    from repro.experiments.report import app_metric_table
+
+    per_cell: Dict[str, Dict[str, float]] = {}
+    for r in result.results:
+        label = r.cell.label()
+        if label in per_cell:
+            label = f"{label}#{r.key[:6]}"
+        if r.payload.get("kind") == "multiprog":
+            per_cell[label] = {"cycles": float(r.payload["makespan"])}
+            continue
+        stats = r.payload["stats"]
+        packets = stats["network_packets"]
+        per_cell[label] = {
+            "cycles": float(stats["execution_cycles"]),
+            "net_latency": (
+                stats["network_total_latency"] / packets if packets else 0.0
+            ),
+            "l1_hit_rate": (
+                stats["l1_hits"] / stats["l1_accesses"]
+                if stats["l1_accesses"]
+                else 0.0
+            ),
+            "llc_miss_rate": (
+                1.0 - stats["llc_hits"] / stats["llc_accesses"]
+                if stats["llc_accesses"]
+                else 0.0
+            ),
+        }
+    return app_metric_table(
+        title,
+        per_cell,
+        ["cycles", "net_latency", "l1_hit_rate", "llc_miss_rate"],
+        sort_rows=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+@dataclass
+class _Pending:
+    index: int
+    cell: SweepCell
+    key: str
+    failures: int = 0
+    started: float = 0.0
+
+
+def _mp_context():
+    """Fork where available (inherits sys.path -> fixture workloads in
+    tests resolve in workers); the platform default elsewhere."""
+    import multiprocessing as mp
+
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool, including workers stuck in a hung cell."""
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def run_sweep(
+    cells: Sequence[SweepCell],
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    cache_dir: Optional[str] = None,
+    max_retries: int = DEFAULT_MAX_RETRIES,
+    backoff_base: float = DEFAULT_BACKOFF_BASE,
+    cell_timeout: Optional[float] = None,
+    events: Optional[EventStream] = None,
+) -> SweepResult:
+    """Execute a sweep's cells, fanned out over ``workers`` processes.
+
+    * ``cache`` / ``cache_dir`` -- memoize completed cells on disk;
+      ``cache_dir`` is shorthand for ``ResultCache(cache_dir)``.
+    * ``max_retries`` -- worker re-submissions per cell after its first
+      failure; exhausted cells run in-process in the coordinator.
+    * ``backoff_base`` -- seconds before the first retry; doubles per
+      subsequent retry of the same cell.
+    * ``cell_timeout`` -- seconds a worker may spend on one attempt of one
+      cell before the pool is recycled and the cell counted as failed
+      (there is no way to cancel a single running pool task).
+    * ``events`` -- an :class:`EventStream` receiving ``cache.hit`` /
+      ``cache.miss`` / ``cache.store`` / ``cell.retry`` /
+      ``cell.fallback`` / ``sweep.*`` decision events.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    if cache is None and cache_dir is not None:
+        cache = ResultCache(cache_dir)
+
+    def emit(kind: str, **fields: Any) -> None:
+        if events is not None:
+            events.emit(kind, **fields)
+
+    cells = list(cells)
+    keys = [cell.key() for cell in cells]
+    wall_start = time.perf_counter()
+    emit(
+        "sweep.start",
+        cells=len(cells),
+        unique=len(set(keys)),
+        workers=workers,
+        cached=cache is not None,
+    )
+
+    done_by_key: Dict[str, CellResult] = {}
+    result = SweepResult(results=[], workers=workers)
+
+    # -- resolve cache hits and dedupe ---------------------------------
+    pending: List[_Pending] = []
+    pending_keys: set = set()
+    for index, (cell, key) in enumerate(zip(cells, keys)):
+        if key in done_by_key or key in pending_keys:
+            continue  # duplicate within this sweep: computed once
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            result.cache_hits += 1
+            emit("cache.hit", key=key, cell=cell.label())
+            done_by_key[key] = CellResult(
+                cell=cell, key=key, payload=cached, from_cache=True
+            )
+            continue
+        if cache is not None:
+            result.cache_misses += 1
+            emit("cache.miss", key=key, cell=cell.label())
+        pending.append(_Pending(index=index, cell=cell, key=key))
+        pending_keys.add(key)
+
+    def finish(item: _Pending, payload: Dict[str, Any], attempts: int,
+               in_process: bool, seconds: float) -> None:
+        if cache is not None:
+            cache.put(item.key, payload)
+            emit("cache.store", key=item.key, cell=item.cell.label())
+        done_by_key[item.key] = CellResult(
+            cell=item.cell,
+            key=item.key,
+            payload=payload,
+            attempts=attempts,
+            in_process=in_process,
+            seconds=seconds,
+        )
+
+    def run_inline(item: _Pending, in_process: bool) -> None:
+        """Coordinator-side execution with the same retry contract."""
+        t0 = time.perf_counter()
+        while True:
+            try:
+                payload = execute_cell(item.cell)
+            except Exception as exc:
+                item.failures += 1
+                if item.failures > max_retries:
+                    raise SweepError(
+                        f"cell {item.cell.label()} ({item.key}) failed "
+                        f"after {item.failures} attempts: {exc!r}"
+                    ) from exc
+                result.retries += 1
+                backoff = backoff_base * (2 ** (item.failures - 1))
+                emit(
+                    "cell.retry",
+                    key=item.key,
+                    cell=item.cell.label(),
+                    attempt=item.failures + 1,
+                    reason=type(exc).__name__,
+                )
+                time.sleep(backoff)
+            else:
+                finish(
+                    item, payload, attempts=item.failures + 1,
+                    in_process=in_process,
+                    seconds=time.perf_counter() - t0,
+                )
+                return
+
+    if workers == 1:
+        for item in pending:
+            run_inline(item, in_process=False)
+    elif pending:
+        _run_pool(
+            pending,
+            workers=workers,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
+            cell_timeout=cell_timeout,
+            finish=finish,
+            fallback=lambda item: (run_inline(item, in_process=True)),
+            emit=emit,
+            result=result,
+        )
+
+    # -- assemble in input order ---------------------------------------
+    result.results = [
+        dataclasses.replace(done_by_key[key], cell=cell)
+        for cell, key in zip(cells, keys)
+    ]
+    result.wall_seconds = time.perf_counter() - wall_start
+    emit("sweep.end", **result.summary())
+    return result
+
+
+def _run_pool(
+    pending: List[_Pending],
+    workers: int,
+    max_retries: int,
+    backoff_base: float,
+    cell_timeout: Optional[float],
+    finish,
+    fallback,
+    emit,
+    result: SweepResult,
+) -> None:
+    """The process-pool loop: submit, collect, retry, recycle, fall back."""
+    ctx = _mp_context()
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    inflight: Dict[Future, _Pending] = {}
+
+    def submit(item: _Pending) -> None:
+        item.started = time.monotonic()
+        inflight[pool.submit(execute_cell, item.cell)] = item
+
+    def on_failure(item: _Pending, reason: str) -> List[_Pending]:
+        """Count one failed attempt; returns the item if it may retry."""
+        item.failures += 1
+        if item.failures <= max_retries:
+            result.retries += 1
+            emit(
+                "cell.retry",
+                key=item.key,
+                cell=item.cell.label(),
+                attempt=item.failures + 1,
+                reason=reason,
+            )
+            time.sleep(backoff_base * (2 ** (item.failures - 1)))
+            return [item]
+        result.fallbacks += 1
+        emit("cell.fallback", key=item.key, cell=item.cell.label(),
+             reason=reason)
+        fallback(item)
+        return []
+
+    try:
+        for item in pending:
+            submit(item)
+        while inflight:
+            timeout = None
+            if cell_timeout is not None:
+                oldest = min(it.started for it in inflight.values())
+                timeout = max(
+                    0.02, oldest + cell_timeout - time.monotonic()
+                )
+            done, _ = wait(
+                set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+
+            if not done:
+                # Nothing finished before the next deadline: look for a
+                # hung attempt.  A single pool task cannot be cancelled,
+                # so recycle the whole pool; innocent in-flight cells are
+                # resubmitted without being charged an attempt.
+                now = time.monotonic()
+                overdue = [
+                    f
+                    for f, it in inflight.items()
+                    if now - it.started >= (cell_timeout or 0)
+                ]
+                if not overdue:
+                    continue
+                items = list(inflight.values())
+                hung = {id(inflight[f]) for f in overdue}
+                inflight.clear()
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+                for it in items:
+                    if id(it) in hung:
+                        for retry in on_failure(it, "timeout"):
+                            submit(retry)
+                    else:
+                        submit(it)
+                continue
+
+            broken = False
+            to_resubmit: List[_Pending] = []
+            for future in done:
+                item = inflight.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenExecutor:
+                    # A worker died hard (os._exit, signal): the pool is
+                    # unusable and every in-flight future fails with it.
+                    broken = True
+                    to_resubmit.extend(on_failure(item, "worker died"))
+                except Exception as exc:
+                    to_resubmit.extend(
+                        on_failure(item, type(exc).__name__)
+                    )
+                else:
+                    finish(
+                        item,
+                        payload,
+                        attempts=item.failures + 1,
+                        in_process=False,
+                        seconds=time.monotonic() - item.started,
+                    )
+            if broken:
+                # Drain survivors into the new pool.  Blame cannot be
+                # attributed, so every interrupted cell is charged one
+                # attempt; with default retry budgets an innocent cell
+                # still completes (worst case in-process).
+                survivors = list(inflight.values())
+                inflight.clear()
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+                for it in survivors:
+                    to_resubmit.extend(on_failure(it, "pool broken"))
+            for item in to_resubmit:
+                submit(item)
+    finally:
+        _kill_pool(pool)

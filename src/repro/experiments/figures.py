@@ -128,12 +128,16 @@ def figure08_shared(
 
 
 def summarize(per_app: Mapping[str, Mapping[str, float]]) -> Dict[str, float]:
-    """Geometric means over applications, metric by metric."""
-    metrics: Dict[str, List[float]] = {}
-    for row in per_app.values():
-        for metric, value in row.items():
-            metrics.setdefault(metric, []).append(value)
-    return {m: geomean(vals) for m, vals in metrics.items()}
+    """Geometric means over applications, metric by metric.
+
+    Delegates to :func:`repro.experiments.report.geomean_summary`, which
+    reduces in sorted-key order so the aggregate does not depend on the
+    order the per-app rows were inserted (serial figure loops insert in
+    suite order; parallel sweeps in completion order).
+    """
+    from .report import geomean_summary
+
+    return geomean_summary(per_app)
 
 
 # ----------------------------------------------------------------------

@@ -91,7 +91,11 @@ class RunResult:
             source, label = self.inspector_report.affinities, EXECUTE_LABEL
         else:
             return []
-        for (nest, set_id), affinity in source.items():
+        # Sorted reduction: the affinity dict's insertion order depends on
+        # how the schedule was derived; error lists must not (float
+        # aggregation is order-sensitive, and the parallel sweep executor
+        # compares them field-identically across run orders).
+        for (nest, set_id), affinity in sorted(source.items()):
             observed = self.engine.observed_mai(label, nest, set_id)
             if observed is not None and observed.sum() > 0:
                 errors.append(mai_error(affinity.mai, observed))
@@ -108,7 +112,7 @@ class RunResult:
         else:
             return []
         errors: List[float] = []
-        for (nest, set_id), affinity in source.items():
+        for (nest, set_id), affinity in sorted(source.items()):
             if affinity.cai is None:
                 continue
             observed = self.engine.observed_cai_regions(
@@ -352,6 +356,38 @@ def run_workload(
         engine=engine,
         moved_fraction=moved,
     )
+
+
+def run_workloads(
+    specs,
+    config: SystemConfig,
+    scale: float = 1.0,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    **cell_kwargs,
+):
+    """Run many (workload, mapping) pairs, optionally sharded and cached.
+
+    ``specs`` is a sequence of ``(workload_name, mapping)`` pairs; each
+    becomes one :class:`repro.exec.SweepCell`.  With ``workers > 1`` the
+    cells fan out over a process pool, and with ``cache_dir`` completed
+    cells are memoized on disk -- both paths are certified field-identical
+    to a serial loop over :func:`run_workload` by ``tests/exec``.
+
+    Returns the :class:`repro.exec.SweepResult`; per-pair ``RunStats``
+    payloads are at ``result.payloads()``.  (Imported lazily: the executor
+    sits above the harness in the layering.)
+    """
+    from repro.exec import SweepCell, run_sweep
+
+    cells = [
+        SweepCell(
+            workload=name, config=config, mapping=mapping, scale=scale,
+            **cell_kwargs,
+        )
+        for name, mapping in specs
+    ]
+    return run_sweep(cells, workers=workers, cache_dir=cache_dir)
 
 
 def _build_compiler(config, cme_accuracy, set_fraction, seed, compiler_kwargs,

@@ -50,12 +50,13 @@ def _schedules_for(
     machine: Manycore,
     trace: ProgramTrace,
     cme_accuracy: float,
+    seed: int,
 ) -> Dict[int, Dict[int, int]]:
     num_cores = machine.mesh.num_nodes
     base = default_schedules(instance, iteration_sets, num_cores)
     if mapping == "default":
         return base
-    compiler = LocationAwareCompiler(config, cme_accuracy=cme_accuracy)
+    compiler = LocationAwareCompiler(config, cme_accuracy=cme_accuracy, seed=seed)
     if workload.regular:
         return compiler.compile(instance).schedules
     # Irregular: observe one trip on a scratch machine, derive the schedule.
@@ -76,12 +77,18 @@ def run_multiprogrammed(
     mapping: str = "default",
     scale: float = 1.0,
     cme_accuracy: float = DEFAULT_CME_ACCURACY,
+    seed: int = 11,
 ) -> MultiProgramResult:
     """Run several applications concurrently on one machine.
 
     All applications start together; each executes its own nest sequence
     (with per-application barriers) while sharing the network, the caches
     and the memory controllers.  Returns the bundle's makespan.
+
+    ``seed`` parameterizes each application's compiler artifacts, so a
+    bundle is fully determined by (workloads, config, mapping, scale,
+    cme_accuracy, seed) -- which is what lets the sweep executor treat a
+    multiprogrammed bundle as one content-addressed cell.
     """
     if not workloads:
         raise ValueError("need at least one workload")
@@ -108,6 +115,7 @@ def run_multiprogrammed(
             machine,
             trace,
             cme_accuracy,
+            seed,
         )
         contexts.append((workload, trace, schedules))
 
@@ -154,8 +162,13 @@ def multiprogrammed_improvement(
     workloads: Sequence[Workload],
     config: SystemConfig,
     scale: float = 1.0,
+    seed: int = 11,
 ) -> float:
     """Percent makespan reduction of LA over default for a bundle."""
-    base = run_multiprogrammed(workloads, config, mapping="default", scale=scale)
-    opt = run_multiprogrammed(workloads, config, mapping="la", scale=scale)
+    base = run_multiprogrammed(
+        workloads, config, mapping="default", scale=scale, seed=seed
+    )
+    opt = run_multiprogrammed(
+        workloads, config, mapping="la", scale=scale, seed=seed
+    )
     return percent_reduction(base.makespan, opt.makespan)

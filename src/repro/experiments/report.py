@@ -56,15 +56,54 @@ def app_metric_table(
     per_app: Mapping[str, Mapping[str, float]],
     metrics: Sequence[str],
     summary_row: Optional[Mapping[str, float]] = None,
+    sort_rows: bool = False,
 ) -> str:
-    """Table with one row per application and one column per metric."""
+    """Table with one row per application and one column per metric.
+
+    ``sort_rows=True`` orders rows by application name instead of by dict
+    insertion order.  Results assembled from a parallel sweep arrive in
+    completion order, which varies run to run; sorted rows make the
+    rendered table (and its golden-snapshot hash) order-independent.
+    The figure tables keep insertion order: the paper lists applications
+    in Figure 7/8 order, not alphabetically.
+    """
     headers = ["benchmark"] + list(metrics)
+    apps = sorted(per_app) if sort_rows else list(per_app)
     rows = [
         [app] + [per_app[app].get(metric, float("nan")) for metric in metrics]
-        for app in per_app
+        for app in apps
     ]
     if summary_row is not None:
         rows.append(
             ["GEOMEAN"] + [summary_row.get(m, float("nan")) for m in metrics]
         )
     return format_table(headers, rows, title=title)
+
+
+def geomean_summary(
+    per_app: Mapping[str, Mapping[str, float]],
+    metrics: Optional[Sequence[str]] = None,
+) -> Dict[str, float]:
+    """Per-metric geomean over applications, reduced in sorted-key order.
+
+    Floating-point reduction is order-sensitive, so the value lists are
+    always collected over ``sorted(per_app)``: two tables built from the
+    same results -- whatever order a parallel sweep delivered them in --
+    summarize bit-identically.
+    """
+    from repro.sim.stats import geomean
+
+    if metrics is None:
+        names = sorted({m for row in per_app.values() for m in row})
+    else:
+        names = list(metrics)
+    return {
+        metric: geomean(
+            [
+                per_app[app][metric]
+                for app in sorted(per_app)
+                if metric in per_app[app]
+            ]
+        )
+        for metric in names
+    }

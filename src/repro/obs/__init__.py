@@ -17,7 +17,13 @@ See ``docs/observability.md`` for the full API and event schema.
 """
 
 from .events import LEVELS, EventStream
-from .manifest import build_manifest, config_digest, config_hash, package_version
+from .manifest import (
+    build_manifest,
+    config_digest,
+    config_hash,
+    package_version,
+    sweep_cache_key,
+)
 from .spatial import SpatialAccumulators
 from .telemetry import Histogram, PhaseRecord, Telemetry, profiled
 
@@ -33,4 +39,5 @@ __all__ = [
     "config_hash",
     "package_version",
     "profiled",
+    "sweep_cache_key",
 ]

@@ -52,6 +52,24 @@ def config_hash(config: Any) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def sweep_cache_key(config: Any, **identity: Any) -> str:
+    """Content-addressed key of one sweep cell's result.
+
+    Extends :func:`config_hash` with the rest of a cell's identity --
+    workload spec, mapping, scale, trips, estimator accuracy, the derived
+    seed, plus the executor's cache schema and pipeline code versions --
+    normalized exactly like config fields, so any semantic change to any
+    ingredient produces a different key (and therefore a cache miss).
+    The on-disk result cache (:mod:`repro.exec.cache`) files entries under
+    this digest.
+    """
+    material = {"config": config_digest(config)}
+    for name, value in identity.items():
+        material[name] = _normalize(value)
+    payload = json.dumps(material, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
 def package_version() -> str:
     try:
         from importlib.metadata import version

@@ -1,0 +1,1 @@
+"""Equivalence, caching, and crash-recovery suite for ``repro.exec``."""

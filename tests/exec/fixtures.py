@@ -1,0 +1,118 @@
+"""Fault-injection workloads for certifying the sweep executor.
+
+:class:`CrashingWorkload` wraps a real suite benchmark and sabotages its
+own ``instantiate`` on early attempts -- by raising, hard-exiting the
+worker process, or hanging -- then behaves identically to the wrapped
+benchmark on later attempts.  Because the sabotage happens *before* any
+simulation state exists, a recovered run is bit-for-bit the run that a
+never-crashing cell would have produced, which is exactly what the
+crash-recovery tests assert.
+
+Cells reach these fixtures through the executor's ``module:factory``
+workload spec (``"tests.exec.fixtures:build_crasher"``), so the injected
+faults travel the production code path end to end: pickling, worker-side
+workload resolution, retry accounting, pool recycling, and the in-process
+fallback.
+
+Attempt counting uses a plain file under ``marker_dir``.  No locking is
+needed: the executor retries one cell strictly sequentially, so two
+attempts of the same cell never overlap.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Optional
+
+from repro.workloads import build_workload
+from repro.workloads.base import Workload
+
+
+class InjectedCrash(RuntimeError):
+    """The deliberate failure raised by ``mode="raise"`` fixtures."""
+
+
+@dataclass(frozen=True)
+class CrashingWorkload(Workload):
+    """A suite workload that fails its first ``crash_attempts`` attempts.
+
+    Modes:
+
+    * ``"raise"``       -- raise :class:`InjectedCrash` (ordinary worker
+      exception; exercises retry + backoff).
+    * ``"exit"``        -- ``os._exit(13)`` (kills the worker outright;
+      exercises the ``BrokenExecutor`` pool-rebuild path).
+    * ``"hang"``        -- sleep ``hang_seconds`` (exercises the
+      ``cell_timeout`` pool-recycle path).
+    * ``"worker-only"`` -- raise whenever running in a process other than
+      ``parent_pid``, on *every* attempt (exercises the graceful
+      in-process fallback: only the coordinator can complete the cell).
+    """
+
+    mode: str = "raise"
+    marker_dir: str = ""
+    crash_attempts: int = 1
+    hang_seconds: float = 30.0
+    parent_pid: int = 0
+
+    def _next_attempt(self) -> int:
+        marker = Path(self.marker_dir) / "attempts"
+        attempt = int(marker.read_text()) + 1 if marker.exists() else 1
+        marker.write_text(str(attempt))
+        return attempt
+
+    def instantiate(
+        self,
+        params: Optional[Mapping[str, int]] = None,
+        page_bytes: int = 2048,
+        scale: float = 1.0,
+    ):
+        if self.mode == "worker-only":
+            if os.getpid() != self.parent_pid:
+                raise InjectedCrash("injected: refusing to run in a worker")
+        else:
+            attempt = self._next_attempt()
+            if attempt <= self.crash_attempts:
+                if self.mode == "raise":
+                    raise InjectedCrash(f"injected crash on attempt {attempt}")
+                if self.mode == "exit":
+                    os._exit(13)
+                if self.mode == "hang":
+                    time.sleep(self.hang_seconds)
+                else:
+                    raise ValueError(f"unknown crash mode {self.mode!r}")
+        return super().instantiate(
+            params=params, page_bytes=page_bytes, scale=scale
+        )
+
+
+def build_crasher(
+    mode: str = "raise",
+    marker_dir: str = "",
+    inner: str = "mxm",
+    crash_attempts: int = 1,
+    hang_seconds: float = 30.0,
+    parent_pid: int = 0,
+) -> CrashingWorkload:
+    """Factory the executor resolves via ``tests.exec.fixtures:build_crasher``.
+
+    The wrapper copies the inner benchmark's name/program/metadata, so a
+    recovered crasher cell produces a payload identical to a plain
+    ``inner`` cell run with the same config, scale, and seed.
+    """
+    base = build_workload(inner)
+    return CrashingWorkload(
+        name=base.name,
+        program=base.program,
+        regular=base.regular,
+        trips=base.trips,
+        description=base.description,
+        mode=mode,
+        marker_dir=marker_dir,
+        crash_attempts=crash_attempts,
+        hang_seconds=hang_seconds,
+        parent_pid=parent_pid,
+    )

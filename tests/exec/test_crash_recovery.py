@@ -1,0 +1,143 @@
+"""Crash recovery: retry, backoff, pool rebuild, timeout, and fallback.
+
+Every test pits a :class:`tests.exec.fixtures.CrashingWorkload` cell
+against the executor and then asserts the recovered payload is
+``==``-identical to a plain never-crashing cell run with the same
+config, scale, and seed -- crashes may cost attempts and wall time, but
+they must never change results.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.exec import SweepCell, SweepError, execute_cell, run_sweep
+from repro.sim.config import DEFAULT_CONFIG
+
+INNER = "mxm"
+SCALE = 0.2
+SEED = 11
+FAST_BACKOFF = 0.01
+
+
+def crasher_cell(mode, marker_dir, **extra):
+    args = {"mode": mode, "marker_dir": str(marker_dir), "inner": INNER}
+    args.update(extra)
+    return SweepCell(
+        workload="tests.exec.fixtures:build_crasher",
+        config=DEFAULT_CONFIG,
+        scale=SCALE,
+        seed=SEED,
+        workload_args=args,
+    )
+
+
+@pytest.fixture(scope="module")
+def plain_payload():
+    """What the wrapped benchmark produces when nothing goes wrong."""
+    return execute_cell(
+        SweepCell(workload=INNER, config=DEFAULT_CONFIG, scale=SCALE,
+                  seed=SEED)
+    )
+
+
+def test_worker_exception_is_retried(plain_payload, tmp_path):
+    cell = crasher_cell("raise", tmp_path)
+    result = run_sweep([cell], workers=2, backoff_base=FAST_BACKOFF)
+    (r,) = result.results
+    assert r.attempts == 2
+    assert result.retries == 1
+    assert not r.in_process
+    assert r.payload == plain_payload
+
+
+def test_serial_path_has_the_same_retry_contract(plain_payload, tmp_path):
+    cell = crasher_cell("raise", tmp_path)
+    result = run_sweep([cell], workers=1, backoff_base=FAST_BACKOFF)
+    (r,) = result.results
+    assert r.attempts == 2
+    assert result.retries == 1
+    assert r.payload == plain_payload
+
+
+def test_hard_exit_rebuilds_the_pool(plain_payload, tmp_path):
+    """os._exit in a worker breaks the whole pool; the sweep survives."""
+    cell = crasher_cell("exit", tmp_path)
+    result = run_sweep([cell], workers=2, backoff_base=FAST_BACKOFF)
+    (r,) = result.results
+    assert r.attempts == 2
+    assert result.retries == 1
+    assert r.payload == plain_payload
+
+
+def test_hang_is_cut_off_by_cell_timeout(plain_payload, tmp_path):
+    """A 30 s hang on attempt 1 must not cost anywhere near 30 s."""
+    cell = crasher_cell("hang", tmp_path, hang_seconds=30.0)
+    t0 = time.monotonic()
+    result = run_sweep(
+        [cell], workers=2, cell_timeout=2.0, backoff_base=FAST_BACKOFF
+    )
+    wall = time.monotonic() - t0
+    (r,) = result.results
+    assert r.attempts == 2
+    assert result.retries == 1
+    assert r.payload == plain_payload
+    assert wall < 20.0, f"hung cell was not cut off (took {wall:.1f}s)"
+
+
+def test_exhausted_retries_fall_back_in_process(plain_payload, tmp_path):
+    """A cell that only ever fails in workers completes in the coordinator."""
+    cell = crasher_cell("worker-only", tmp_path, parent_pid=os.getpid())
+    result = run_sweep(
+        [cell], workers=2, max_retries=1, backoff_base=FAST_BACKOFF
+    )
+    (r,) = result.results
+    assert r.in_process
+    assert result.fallbacks == 1
+    assert result.retries == 1
+    assert r.payload == plain_payload
+
+
+def test_unrecoverable_cell_raises_sweep_error(tmp_path):
+    cell = crasher_cell("raise", tmp_path, crash_attempts=99)
+    with pytest.raises(SweepError):
+        run_sweep([cell], workers=1, max_retries=1,
+                  backoff_base=FAST_BACKOFF)
+
+
+def test_recovered_results_are_cached_like_any_other(plain_payload, tmp_path):
+    """A crash-recovered payload replays from cache on the next sweep."""
+    cache_dir = str(tmp_path / "cache")
+    cell = crasher_cell("raise", tmp_path)
+    cold = run_sweep([cell], workers=2, cache_dir=cache_dir,
+                     backoff_base=FAST_BACKOFF)
+    assert cold.results[0].payload == plain_payload
+
+    warm = run_sweep([cell], workers=2, cache_dir=cache_dir,
+                     backoff_base=FAST_BACKOFF)
+    (r,) = warm.results
+    assert r.from_cache
+    assert warm.hit_rate == 1.0
+    assert r.payload == plain_payload
+    # The marker proves the workload never ran again: two attempts from
+    # the cold sweep, zero from the warm one.
+    assert (tmp_path / "attempts").read_text() == "2"
+
+
+def test_healthy_cells_complete_alongside_a_crasher(plain_payload, tmp_path):
+    """An innocent cell sharing the pool with a hard-exiting one still
+    converges to its serial payload (it may be charged a blameless
+    attempt when the pool breaks, but never loses its result)."""
+    crasher = crasher_cell("exit", tmp_path)
+    innocent = SweepCell(
+        workload=INNER, config=DEFAULT_CONFIG, scale=SCALE, seed=SEED
+    )
+    result = run_sweep(
+        [crasher, innocent], workers=2, backoff_base=FAST_BACKOFF
+    )
+    by_key = result.by_key()
+    assert by_key[innocent.key()].payload == plain_payload
+    assert by_key[crasher.key()].payload == plain_payload

@@ -1,0 +1,84 @@
+"""Property test: sweep results are invariant under sharding strategy.
+
+Hypothesis draws a random experiment matrix (app subset x mapping), a
+worker count in 1..8, and a shard order, then asserts the sweep
+reproduces a serially-computed reference payload for every cell AND
+renders a byte-identical report table (compared by golden-snapshot
+hash).  Serial references are memoized per cell key across examples, so
+the reference side of each comparison is computed exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import (
+    CellResult,
+    SweepResult,
+    execute_cell,
+    run_sweep,
+    sweep_matrix,
+    sweep_table,
+)
+from repro.sim.config import DEFAULT_CONFIG
+
+# Cheap members of the suite: whole-matrix examples stay sub-second.
+CANDIDATES = ("mxm", "minighost", "jacobi-3d")
+SCALE = 0.2
+
+_reference_memo: dict = {}
+
+
+def _reference_payloads(cells):
+    for cell in cells:
+        key = cell.key()
+        if key not in _reference_memo:
+            _reference_memo[key] = execute_cell(cell)
+    return {cell.key(): _reference_memo[cell.key()] for cell in cells}
+
+
+def _table_hash(result: SweepResult) -> str:
+    return hashlib.sha256(
+        sweep_table(result, title="prop").encode("utf-8")
+    ).hexdigest()
+
+
+@settings(
+    max_examples=5,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    apps=st.lists(
+        st.sampled_from(CANDIDATES), min_size=1, max_size=3, unique=True
+    ),
+    mapping=st.sampled_from(("default", "la")),
+    workers=st.integers(min_value=1, max_value=8),
+    order_seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_sweep_is_invariant_under_sharding(apps, mapping, workers, order_seed):
+    cells = sweep_matrix(
+        sorted(apps), DEFAULT_CONFIG, mappings=(mapping,), scales=(SCALE,)
+    )
+    shuffled = list(cells)
+    random.Random(order_seed).shuffle(shuffled)
+
+    result = run_sweep(shuffled, workers=workers, backoff_base=0.01)
+
+    expected = _reference_payloads(cells)
+    assert result.payloads() == expected
+
+    # Golden snapshot: the aggregated report table renders to identical
+    # bytes regardless of worker count or shard order.
+    reference = SweepResult(
+        results=[
+            CellResult(cell=c, key=c.key(), payload=expected[c.key()])
+            for c in cells
+        ],
+        workers=1,
+    )
+    assert _table_hash(result) == _table_hash(reference)
