@@ -6,10 +6,10 @@ three produce identical payloads, then asserts:
 
 * the warm replay costs < 25% of the cold serial sweep (unconditional:
   replay does no simulation, only JSON reads);
-* the 4-worker cold sweep is >= 2x faster than serial, asserted only
-  when the machine actually exposes >= 4 usable CPUs (a 1-CPU container
-  cannot honestly measure parallel speedup; the measurement is still
-  recorded either way).
+* the 4-worker cold sweep is >= 2x faster than serial.  On a machine
+  with fewer than 4 usable CPUs this claim cannot honestly be measured,
+  so the test SKIPS (never silently passes) after recording the
+  measurement with a ``skipped_reason`` in the trajectory record.
 
 The measured point is appended to ``BENCH_parallel.json`` at the
 repository root as a perf trajectory record.
@@ -28,6 +28,8 @@ import os
 import platform
 import tempfile
 from pathlib import Path
+
+import pytest
 
 from repro.exec import ResultCache, run_sweep, sweep_matrix
 from repro.obs import config_hash, package_version
@@ -66,6 +68,12 @@ def test_parallel_sweep_and_cache_replay_speed():
     speedup = serial.wall_seconds / cold.wall_seconds
     warm_fraction = warm.wall_seconds / serial.wall_seconds
 
+    skipped_reason = None
+    if cpus < WORKERS:
+        skipped_reason = (
+            f"only {cpus} usable CPU(s); a {WORKERS}-worker speedup "
+            "claim needs at least as many CPUs as workers"
+        )
     record = {
         "benchmark": "parallel_sweep_vs_serial",
         "suite": f"{len(cells)} apps @ scale {SCALE}",
@@ -77,7 +85,7 @@ def test_parallel_sweep_and_cache_replay_speed():
         "speedup": round(speedup, 2),
         "warm_fraction_of_serial": round(warm_fraction, 4),
         "min_speedup_required": MIN_SPEEDUP,
-        "speedup_asserted": cpus >= WORKERS,
+        "speedup_asserted": skipped_reason is None,
         "manifest": {
             "config_hash": config_hash(DEFAULT_CONFIG),
             "version": package_version(),
@@ -85,6 +93,8 @@ def test_parallel_sweep_and_cache_replay_speed():
             "platform": platform.platform(),
         },
     }
+    if skipped_reason is not None:
+        record["skipped_reason"] = skipped_reason
     history = []
     if BENCH_PATH.exists():
         history = json.loads(BENCH_PATH.read_text())
@@ -103,8 +113,12 @@ def test_parallel_sweep_and_cache_replay_speed():
         f"cache-warm replay took {100 * warm_fraction:.1f}% of the cold "
         f"serial sweep (floor: {100 * MAX_WARM_FRACTION:.0f}%)"
     )
-    if cpus >= WORKERS:
-        assert speedup >= MIN_SPEEDUP, (
-            f"{WORKERS}-worker speedup {speedup:.2f}x below the "
-            f"{MIN_SPEEDUP}x floor on a {cpus}-CPU machine"
-        )
+    if skipped_reason is not None:
+        # Skip loudly rather than pass vacuously: a 1-CPU container must
+        # not turn the throughput guard into a green no-op.  The payload
+        # equality and warm-replay guards above have already run.
+        pytest.skip(f"parallel speedup not asserted: {skipped_reason}")
+    assert speedup >= MIN_SPEEDUP, (
+        f"{WORKERS}-worker speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x floor on a {cpus}-CPU machine"
+    )

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from repro.faults.plan import FaultPlan
 from repro.sim.config import SystemConfig
 from repro.workloads.base import Workload
 
@@ -44,6 +45,7 @@ from .diagnostics import (
     Diagnostic,
     Severity,
 )
+from . import faultplan as _faultplan  # noqa: F401 - registers FLT rules
 from .fixtures import FIXTURES, build_fixture, fixture_names
 from .framework import (
     AnalysisContext,
@@ -105,10 +107,18 @@ def analyze_run(
     workload: Optional[Workload] = None,
     config: Optional[SystemConfig] = None,
     params: Optional[Mapping[str, int]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AnalysisReport:
-    """Run every applicable rule over a workload/config pair."""
+    """Run every applicable rule over a workload/config pair.
+
+    ``fault_plan`` additionally runs the FLT fault-legality rules
+    against the configuration.
+    """
     ctx = AnalysisContext(
-        config=config, workload=workload, params=dict(params or {})
+        config=config,
+        workload=workload,
+        params=dict(params or {}),
+        fault_plan=fault_plan,
     )
     return run_rules(ctx)
 
@@ -129,13 +139,16 @@ def gate(
     workload: Optional[Workload] = None,
     config: Optional[SystemConfig] = None,
     params: Optional[Mapping[str, int]] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> AnalysisReport:
     """Run the analysis and raise :class:`AnalysisError` on any error.
 
     The report is returned on success so callers can log warnings; on
     failure the raised error carries it as ``exc.report``.
     """
-    report = analyze_run(workload=workload, config=config, params=params)
+    report = analyze_run(
+        workload=workload, config=config, params=params, fault_plan=fault_plan
+    )
     if not report.ok:
         raise AnalysisError(report)
     return report

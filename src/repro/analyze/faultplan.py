@@ -1,0 +1,141 @@
+"""FLT rules: fault-plan legality against a machine configuration.
+
+Three checks gate a :class:`repro.faults.FaultPlan` before any machine
+is built from it:
+
+* **FLT001** -- every fault references a resource the machine actually
+  has (coordinates inside the mesh, link endpoints that are neighbours,
+  MC / bank indices in range);
+* **FLT002** -- the healthy directed-link graph stays strongly
+  connected, so the detour router can always find a path and no packet
+  can be stranded;
+* **FLT003** -- every region can still reach at least one online memory
+  controller at finite effective distance, so the degradation-aware MAC
+  tables (and the machine's miss path) remain well defined.
+
+FLT002/FLT003 yield nothing when FLT001 already found problems: a plan
+naming nonexistent resources cannot be projected onto the mesh at all.
+"""
+
+from __future__ import annotations
+
+from math import inf, isinf
+from typing import Iterable, Iterator, Optional, Tuple
+
+from repro.core.regions import RegionPartition
+from repro.faults.degrade import DegradedTopology
+from repro.faults.plan import FaultPlan
+from repro.sim.config import SystemConfig
+
+from .diagnostics import Diagnostic
+from .framework import AnalysisContext, Rule, register_rule
+
+
+def _project(
+    ctx: AnalysisContext,
+) -> Optional[Tuple[SystemConfig, FaultPlan, DegradedTopology]]:
+    """Build the degraded topology, or None when FLT001 findings exist."""
+    cfg = ctx.config
+    plan = ctx.fault_plan
+    if cfg is None or plan is None:
+        return None
+    mesh = cfg.build_mesh()
+    if plan.validate_against(mesh):
+        return None
+    topology = DegradedTopology(mesh, plan, router_delay=cfg.router_delay)
+    return cfg, plan, topology
+
+
+@register_rule
+class FaultPlanResourcesRule(Rule):
+    """Every fault must name a resource of this machine."""
+
+    rule_id = "FLT001"
+    title = "fault plan references valid machine resources"
+    requires = ("config", "fault_plan")
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        cfg = ctx.config
+        plan = ctx.fault_plan
+        if cfg is None or plan is None:  # applicable() guards; mypy appeasement
+            return
+        mesh = cfg.build_mesh()
+        for problem in plan.validate_against(mesh):
+            yield self.finding(
+                ctx.subject,
+                problem,
+                plan_hash=plan.plan_hash(),
+            )
+
+
+@register_rule
+class FaultConnectivityRule(Rule):
+    """Downed links must not disconnect the mesh."""
+
+    rule_id = "FLT002"
+    title = "machine stays connected under the fault plan"
+    requires = ("config", "fault_plan")
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        projected = _project(ctx)
+        if projected is None:
+            return
+        _, plan, topology = projected
+        if topology.is_connected():
+            return
+        witnesses = topology.unreachable_pairs()
+        yield self.finding(
+            ctx.subject,
+            "downed links disconnect the mesh: no healthy route for "
+            + ", ".join(f"{s}->{d}" for s, d in witnesses)
+            + ("..." if len(witnesses) >= 5 else "")
+            + "; packets between these nodes would be stranded",
+            plan_hash=plan.plan_hash(),
+            unreachable=[[s, d] for s, d in witnesses],
+        )
+
+
+@register_rule
+class FaultMcReachabilityRule(Rule):
+    """Each region must keep at least one online MC in effective reach."""
+
+    rule_id = "FLT003"
+    title = "every region reaches an online memory controller"
+    requires = ("config", "fault_plan")
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Diagnostic]:
+        projected = _project(ctx)
+        if projected is None:
+            return
+        cfg, plan, topology = projected
+        mesh = topology.mesh
+        online = topology.online_mcs()
+        if not online:
+            yield self.finding(
+                ctx.subject,
+                "fault plan offlines every memory controller; no region "
+                "can miss to DRAM",
+                plan_hash=plan.plan_hash(),
+            )
+            return
+        partition = RegionPartition(
+            mesh, region_w=cfg.region_w, region_h=cfg.region_h
+        )
+        for region in partition.regions():
+            nodes = partition.nodes_in_region(region)
+            best = inf
+            for mc_index in online:
+                mean = sum(
+                    topology.mc_distance_units(n, mc_index) for n in nodes
+                ) / len(nodes)
+                best = min(best, mean)
+            if isinf(best):
+                yield self.finding(
+                    ctx.subject,
+                    f"region {region} cannot reach any online memory "
+                    "controller under the fault plan; its misses have "
+                    "nowhere to go",
+                    plan_hash=plan.plan_hash(),
+                    region=region,
+                    online_mcs=list(online),
+                )

@@ -30,6 +30,7 @@ from typing import (
     TypeVar,
 )
 
+from repro.faults.plan import FaultPlan
 from repro.sim.config import SystemConfig
 from repro.workloads.base import Workload
 
@@ -50,6 +51,7 @@ class AnalysisContext:
     config: Optional[SystemConfig] = None
     workload: Optional[Workload] = None
     params: Mapping[str, int] = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def subject(self) -> str:
@@ -60,6 +62,8 @@ class AnalysisContext:
             parts.append(
                 f"config:{self.config.mesh_width}x{self.config.mesh_height}"
             )
+        if self.fault_plan is not None:
+            parts.append(f"faults:{self.fault_plan.plan_hash()}")
         return "+".join(parts) or "<empty>"
 
     def bound_params(self) -> Dict[str, int]:
@@ -78,12 +82,14 @@ class Rule:
     rule_id: str = "ANA000"
     title: str = ""
     default_severity: Severity = Severity.ERROR
-    requires: Sequence[str] = ()  # subset of {"config", "workload"}
+    requires: Sequence[str] = ()  # subset of {"config", "workload", "fault_plan"}
 
     def applicable(self, ctx: AnalysisContext) -> bool:
         if "config" in self.requires and ctx.config is None:
             return False
         if "workload" in self.requires and ctx.workload is None:
+            return False
+        if "fault_plan" in self.requires and ctx.fault_plan is None:
             return False
         return True
 

@@ -12,6 +12,9 @@ Commands:
 * ``compare APP [...]``             -- default vs location-aware side by side
 * ``profile APP [...]``             -- phase breakdown + manifest for one run
 * ``heatmap APP [--metric M] [...]``-- spatial traffic over the mesh
+* ``faults ACTION [APP ...]``       -- fault injection: validate plans,
+                                       run degraded machines, A/B the
+                                       fault-aware vs oblivious mapping
 * ``figure NAME [...]``             -- regenerate one paper figure's table
 * ``properties``                    -- Table 3 (static columns)
 
@@ -52,6 +55,7 @@ from repro.obs import LEVELS, EventStream, Telemetry
 from repro.obs.render import (
     HEATMAP_METRICS,
     heatmap_csv,
+    render_fault_overlay,
     render_heatmap,
     render_histograms,
     render_manifest,
@@ -88,6 +92,16 @@ def _apps(raw: Optional[str]) -> Optional[List[str]]:
     if not raw:
         return None
     return [a.strip() for a in raw.split(",") if a.strip()]
+
+
+def _fault_plan(args):
+    """Parse ``--fault`` specs into a FaultPlan (None when absent)."""
+    specs = getattr(args, "fault", None)
+    if not specs:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.parse(specs)
 
 
 def cmd_list(args) -> int:
@@ -181,17 +195,23 @@ def cmd_run(args) -> int:
         return 2
     config = _config(args)
     cache_dir = _resolve_cache_dir(args)
+    fault_plan = _fault_plan(args)
+    fault_aware = not getattr(args, "no_fault_aware", False)
 
     if len(apps) == 1 and args.workers == 1 and cache_dir is None:
         # The classic single-run path, unchanged.
         workload = build_workload(apps[0])
         result = run_workload(
             workload, config, mapping=args.mapping, scale=args.scale,
-            analyze_gate=args.gate,
+            analyze_gate=args.gate, fault_plan=fault_plan,
+            fault_aware=fault_aware,
         )
         s = result.stats
         print(f"{apps[0]} [{args.mapping}, {args.llc} LLC, "
               f"scale {args.scale}]")
+        if fault_plan is not None:
+            print(f"  faults:              {fault_plan.describe()} "
+                  f"({'aware' if fault_aware else 'oblivious'} mapping)")
         print(f"  execution cycles:    {s.execution_cycles:,}")
         print(f"  avg network latency: {s.avg_network_latency:.1f} "
               "cycles/packet")
@@ -209,9 +229,17 @@ def cmd_run(args) -> int:
         from repro.analyze import gate as analyze_gate
 
         for app in apps:
-            analyze_gate(workload=build_workload(app), config=config)
+            analyze_gate(
+                workload=build_workload(app), config=config,
+                fault_plan=fault_plan,
+            )
+    common = {}
+    if fault_plan is not None:
+        common["faults"] = fault_plan.to_specs()
+        common["fault_aware"] = fault_aware
     cells = sweep_matrix(
-        apps, config, mappings=(args.mapping,), scales=(args.scale,)
+        apps, config, mappings=(args.mapping,), scales=(args.scale,),
+        **common,
     )
     result = run_sweep(cells, workers=args.workers, cache_dir=cache_dir)
     print(sweep_table(
@@ -299,7 +327,8 @@ def _run_with_telemetry(args, level: str = "off"):
     telemetry = Telemetry(events=EventStream(level=level))
     result = run_workload(
         workload, config, mapping=args.mapping, scale=args.scale,
-        telemetry=telemetry,
+        telemetry=telemetry, fault_plan=_fault_plan(args),
+        fault_aware=not getattr(args, "no_fault_aware", False),
     )
     return workload, config, telemetry, result
 
@@ -322,6 +351,12 @@ def cmd_profile(args) -> int:
 def cmd_heatmap(args) -> int:
     _, config, telemetry, _ = _run_with_telemetry(args)
     mesh = config.build_mesh()
+    plan = _fault_plan(args)
+    if plan is not None and args.format != "csv":
+        print(render_fault_overlay(
+            mesh, plan, title=f"{args.app} -- injected faults"
+        ))
+        print()
     metrics = (
         list(HEATMAP_METRICS) if args.metric == "all" else [args.metric]
     )
@@ -338,6 +373,155 @@ def cmd_heatmap(args) -> int:
             ))
             print()
     return 0
+
+
+def cmd_faults(args) -> int:
+    """Fault injection: describe plans, run under faults, A/B mappings."""
+    import math
+
+    from repro.analyze import AnalysisError, gate as analyze_gate
+    from repro.faults import FaultPlan, FaultPlanError
+
+    config = _config(args)
+    try:
+        plan = _fault_plan(args)
+    except FaultPlanError as exc:
+        print(f"invalid fault plan: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        if plan is None:
+            print("fault spec grammar:")
+            print("  link:X1,Y1->X2,Y2:down        directed link dead")
+            print("  link:X1,Y1->X2,Y2:throttle=F  link at fraction F "
+                  "(0 < F < 1)")
+            print("  mc:I:offline                  MC I offline "
+                  "(pages re-interleave)")
+            print("  mc:I:throttle=F               MC I at fraction F speed")
+            print("  bank:B:offline                LLC bank B offline "
+                  "(sets re-hash)")
+            print("  router:X,Y:hotspot=+Ncyc      router adds N cycles/hop")
+            print("\npass one or more --fault specs to render a plan")
+            return 0
+        print(f"plan hash: {plan.plan_hash()}  ({len(plan)} fault(s))")
+        print(render_fault_overlay(
+            config.build_mesh(), plan, title="fault plan overlay"
+        ))
+        return 0
+
+    if plan is None:
+        print("no --fault specs given", file=sys.stderr)
+        return 2
+    apps = list(args.apps)
+    if not apps:
+        print("no applications given", file=sys.stderr)
+        return 2
+
+    # Gate first: FLT001-003 must pass before any machine is built.  This
+    # is also the negative-control path CI exercises with illegal plans.
+    try:
+        analyze_gate(config=config, fault_plan=plan)
+    except AnalysisError as exc:
+        print(exc.report.render_text())
+        print("fault plan rejected by the static analyzer", file=sys.stderr)
+        return max(exc.report.exit_code, 1)
+
+    fault_aware = not getattr(args, "no_fault_aware", False)
+    if args.action == "inject":
+        print(render_fault_overlay(
+            config.build_mesh(), plan, title="injected faults"
+        ))
+        rows = []
+        records = []
+        for app in apps:
+            result = run_workload(
+                build_workload(app), config, mapping=args.mapping,
+                scale=args.scale, fault_plan=plan, fault_aware=fault_aware,
+            )
+            s = result.stats
+            rows.append([
+                app, s.execution_cycles, s.avg_network_latency, s.avg_hops,
+            ])
+            records.append({
+                "app": app,
+                "mapping": args.mapping,
+                "fault_aware": fault_aware,
+                "execution_cycles": s.execution_cycles,
+                "avg_network_latency": s.avg_network_latency,
+                "avg_hops": s.avg_hops,
+            })
+        print_table(
+            ["app", "cycles", "net latency", "avg hops"], rows,
+            title=(f"fault injection [{args.mapping}, "
+                   f"{'aware' if fault_aware else 'oblivious'}, "
+                   f"plan {plan.plan_hash()}]"),
+            float_fmt="{:.2f}",
+        )
+        if args.json:
+            payload = {
+                "plan": list(plan.to_specs()),
+                "plan_hash": plan.plan_hash(),
+                "runs": records,
+            }
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"JSON diagnostics -> {args.json}")
+        return 0
+
+    # compare: fault-aware vs fault-oblivious location-aware mapping on
+    # the *same* degraded machine.
+    rows = []
+    records = []
+    ratios = []
+    for app in apps:
+        workload = build_workload(app)
+        aware = run_workload(
+            workload, config, mapping="la", scale=args.scale,
+            fault_plan=plan, fault_aware=True,
+        )
+        oblivious = run_workload(
+            workload, config, mapping="la", scale=args.scale,
+            fault_plan=plan, fault_aware=False,
+        )
+        a = aware.stats.avg_network_latency
+        o = oblivious.stats.avg_network_latency
+        ratio = a / o if o else 1.0
+        ratios.append(ratio)
+        rows.append([app, a, o, ratio])
+        records.append({
+            "app": app,
+            "aware_net_latency": a,
+            "oblivious_net_latency": o,
+            "ratio": ratio,
+        })
+    geomean_ratio = math.exp(
+        sum(math.log(max(r, 1e-12)) for r in ratios) / len(ratios)
+    )
+    print_table(
+        ["app", "aware", "oblivious", "ratio"], rows,
+        title=(f"fault-aware vs oblivious NoC latency "
+               f"[plan {plan.plan_hash()}, scale {args.scale}]"),
+        float_fmt="{:.3f}",
+    )
+    ok = geomean_ratio <= 1.0 + 1e-6
+    print(f"geomean ratio (aware/oblivious): {geomean_ratio:.4f} -> "
+          + ("fault-aware mapping degrades gracefully (<= oblivious)"
+             if ok else "fault-aware mapping LOST to oblivious"))
+    if args.json:
+        payload = {
+            "plan": list(plan.to_specs()),
+            "plan_hash": plan.plan_hash(),
+            "scale": args.scale,
+            "apps": records,
+            "geomean_ratio": geomean_ratio,
+            "fault_aware_wins": ok,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"JSON diagnostics -> {args.json}")
+    return 0 if ok else 1
 
 
 def cmd_figure(args) -> int:
@@ -451,6 +635,15 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=HEATMAP_METRICS + ("all",))
             p.add_argument("--format", default="ascii",
                            choices=("ascii", "csv"))
+        if name in ("run", "heatmap"):
+            p.add_argument("--fault", action="append", default=[],
+                           metavar="SPEC",
+                           help="inject a fault (repeatable); see "
+                                "'repro faults list' for the grammar")
+        if name == "run":
+            p.add_argument("--no-fault-aware", action="store_true",
+                           help="keep the mapping oblivious to injected "
+                                "faults (A/B baseline)")
 
     p = sub.add_parser("cache", help="inspect or clear a sweep result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -458,6 +651,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help=f"cache directory (default: {DEFAULT_CACHE_DIR})")
     p.add_argument("--json", default="",
                    help="also write the stats to this JSON file")
+
+    p = sub.add_parser(
+        "faults",
+        help="fault injection: describe plans, run degraded, A/B mappings",
+    )
+    p.add_argument("action", choices=("list", "inject", "compare"),
+                   help="list: render/validate a plan (or show the "
+                        "grammar); inject: simulate apps under the plan; "
+                        "compare: fault-aware vs oblivious mapping")
+    p.add_argument("apps", nargs="*", choices=[[]] + list(SUITE_ORDER),
+                   help="applications (inject/compare)")
+    p.add_argument("--fault", action="append", default=[], metavar="SPEC",
+                   help="fault spec (repeatable)")
+    p.add_argument("--mapping", default="la", choices=MAPPINGS,
+                   help="mapping for 'inject' (compare always runs la)")
+    p.add_argument("--llc", default="shared", choices=("shared", "private"))
+    p.add_argument("--scale", type=float, default=0.2)
+    p.add_argument("--no-fault-aware", action="store_true",
+                   help="oblivious mapping for 'inject'")
+    p.add_argument("--json", default="",
+                   help="write per-app diagnostics to this JSON file")
 
     p = sub.add_parser("figure", help="regenerate one figure's data")
     p.add_argument("name", choices=sorted(FIGURES))
@@ -476,6 +690,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": cmd_compare,
         "profile": cmd_profile,
         "heatmap": cmd_heatmap,
+        "faults": cmd_faults,
         "figure": cmd_figure,
         "properties": cmd_properties,
     }

@@ -14,7 +14,7 @@ little location affinity as it can.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -50,10 +50,41 @@ def _sorted_pairs(
     return pairs
 
 
+def _capacity_targets(
+    loads: Dict[int, List[int]], total: int, capacity: np.ndarray
+) -> Dict[int, int]:
+    """Integer per-region targets proportional to ``capacity`` weights.
+
+    Largest-remainder apportionment: floors first, then the leftover sets
+    go to the regions with the largest fractional claim (ties broken by
+    current load, fullest first, then region id, so the result is
+    deterministic and transfer-minimizing).
+    """
+    weights = np.asarray(capacity, dtype=float)
+    if weights.shape != (len(loads),):
+        raise ValueError(
+            f"capacity must have one weight per region "
+            f"({len(loads)}), got shape {weights.shape}"
+        )
+    if np.any(weights < 0.0) or weights.sum() <= 0.0:
+        raise ValueError("capacity weights must be non-negative, not all zero")
+    ideal = total * weights / weights.sum()
+    targets = {r: int(ideal[r]) for r in loads}
+    remainder = total - sum(targets.values())
+    by_claim = sorted(
+        loads,
+        key=lambda r: (-(ideal[r] - targets[r]), -len(loads[r]), r),
+    )
+    for r in by_claim[:remainder]:
+        targets[r] += 1
+    return targets
+
+
 def balance_regions(
     set_to_region: Dict[int, int],
     errors: np.ndarray,
     partition: RegionPartition,
+    capacity: Optional[np.ndarray] = None,
 ) -> BalanceResult:
     """Even out iteration-set counts across regions.
 
@@ -62,6 +93,11 @@ def balance_regions(
     minimum-regret sets.  The target load is ``ceil(total / regions)``;
     donors give away surplus above the *floor* average so the result is as
     level as integer counts allow.
+
+    ``capacity`` (optional, one non-negative weight per region) switches
+    to proportional targets: a region carrying weight ``w`` aims for
+    ``total * w / sum(w)`` sets.  The degradation-aware mapper feeds the
+    effective post-fault capacities here so faulted regions shed load.
     """
     assignment = dict(set_to_region)
     num_regions = partition.num_regions
@@ -73,16 +109,19 @@ def balance_regions(
     for set_id, region in assignment.items():
         loads[region].append(set_id)
 
-    floor_avg = total // num_regions
-    remainder = total - floor_avg * num_regions
-    # Exact targets: every region gets floor_avg; the remainder goes to the
-    # currently fullest regions (minimizing the number of transfers).
-    by_load = sorted(
-        loads, key=lambda r: (-len(loads[r]), r)
-    )
-    targets = {r: floor_avg for r in loads}
-    for r in by_load[:remainder]:
-        targets[r] += 1
+    if capacity is not None:
+        targets = _capacity_targets(loads, total, capacity)
+    else:
+        floor_avg = total // num_regions
+        remainder = total - floor_avg * num_regions
+        # Exact targets: every region gets floor_avg; the remainder goes to
+        # the currently fullest regions (minimizing the number of transfers).
+        by_load = sorted(
+            loads, key=lambda r: (-len(loads[r]), r)
+        )
+        targets = {r: floor_avg for r in loads}
+        for r in by_load[:remainder]:
+            targets[r] += 1
 
     surplus = {
         r: len(members) - targets[r]

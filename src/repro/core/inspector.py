@@ -28,7 +28,7 @@ from repro.sim.engine import ExecutionEngine, ObservedSet, TripPlan
 
 from .affinity import affinity_from_counts
 from .alpha import determine_alpha
-from .mapping import Mapper, SetAffinity
+from .mapping import FAULT_CANDIDATE_MARGIN_OBSERVED, Mapper, SetAffinity
 
 INSPECT_LABEL = "inspector"
 EXECUTE_LABEL = "executor"
@@ -84,11 +84,17 @@ class InspectorExecutor:
         mapper: Mapper,
         region_of_node,
         cost: Optional[InspectorCost] = None,
+        oblivious_mapper: Optional[Mapper] = None,
     ):
         self.engine = engine
         self.mapper = mapper
         self.region_of_node = region_of_node
         self.cost = cost or InspectorCost()
+        # Fault-aware runs pass the pristine-table mapper alongside the
+        # degraded one; _derive races both on the observed affinities and
+        # keeps the schedule that prices cheaper on the degraded topology
+        # (oblivious on ties), mirroring the compiler's candidate pass.
+        self.oblivious_mapper = oblivious_mapper
 
     # ------------------------------------------------------------------
     def run(
@@ -166,6 +172,33 @@ class InspectorExecutor:
             by_nest.setdefault(nest_index, []).append(affinity)
         for nest_index, affinities in by_nest.items():
             schedule = self.mapper.assign(affinities, nest_index=nest_index)
+            if self.oblivious_mapper is not None:
+                # The inspector observed the *actual* degraded machine, so
+                # both arms share one exact affinity set; they differ only
+                # in MAC/CAC/capacity tables.
+                oblivious = self.oblivious_mapper.assign(
+                    affinities, nest_index=nest_index
+                )
+                cost_aware = self.mapper.predicted_cost(
+                    schedule.set_to_region, affinities
+                )
+                cost_oblivious = self.mapper.predicted_cost(
+                    oblivious.set_to_region, affinities
+                )
+                chose_aware = cost_aware < cost_oblivious * (
+                    1.0 - FAULT_CANDIDATE_MARGIN_OBSERVED
+                )
+                events = self.mapper.events
+                if events is not None and events.enabled:
+                    events.emit(
+                        "mapper.fault_candidates",
+                        nest=nest_index,
+                        cost_aware=round(cost_aware, 6),
+                        cost_oblivious=round(cost_oblivious, 6),
+                        chosen="aware" if chose_aware else "oblivious",
+                    )
+                if not chose_aware:
+                    schedule = oblivious
             report.schedules[nest_index] = schedule.set_to_core
             report.moved_fractions[nest_index] = schedule.moved_fraction
 

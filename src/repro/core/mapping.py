@@ -27,7 +27,15 @@ from repro.cache.snuca import LLCOrganization
 
 from .affinity import AffinityVector, combined_eta, eta
 from .balance import BalanceResult, balance_regions
-from .proximity import MacMode, cac_table, llc_mac_table, mac_table
+from .proximity import (
+    MacMode,
+    cac_table,
+    degraded_cac_table,
+    degraded_mac_table,
+    llc_mac_table,
+    mac_table,
+    region_capacities,
+)
 from .regions import RegionPartition
 
 
@@ -84,6 +92,7 @@ class Mapper:
         alpha_weighting: bool = True,
         seed: int = 11,
         events=None,
+        faults=None,
     ):
         self.partition = partition
         self.organization = organization
@@ -97,12 +106,36 @@ class Mapper:
         # default; the unweighted form is kept for the ablation study.
         self.alpha_weighting = alpha_weighting
         self._rng = np.random.default_rng(seed)
+        # Degradation-aware mapping: with a repro.faults.DegradedTopology
+        # attached, MAC/CAC come from effective post-fault distances and
+        # the balancer's targets follow effective region capacities.
+        self.faults = faults
         if organization is LLCOrganization.SHARED:
-            # S-NUCA: the off-chip leg starts at the LLC bank (Section 3.8).
-            self._macs = llc_mac_table(partition, mode=mac_mode)
+            # S-NUCA: the off-chip leg starts at the LLC bank
+            # (Section 3.8).
+            pristine_macs = llc_mac_table(partition, mode=mac_mode)
         else:
-            self._macs = mac_table(partition, mode=mac_mode)
-        self._cacs = cac_table(partition, self_weight=cac_self_weight)
+            pristine_macs = mac_table(partition, mode=mac_mode)
+        pristine_cacs = cac_table(partition, self_weight=cac_self_weight)
+        if faults is not None:
+            # Banks are co-located with cores, so the shared-LLC (bank-
+            # anchored) and private (core-anchored) MAC coincide here just
+            # as they do in the pristine tables.
+            self._macs = degraded_mac_table(partition, faults, mode=mac_mode)
+            self._cacs = degraded_cac_table(
+                partition, faults, self_weight=cac_self_weight
+            )
+            self._capacity = region_capacities(partition, faults)
+            # Effective distance matrices back predicted_cost(), which the
+            # compiler uses to score this mapper's schedule against the
+            # oblivious candidate under the post-fault topology.
+            self._mem_dist, self._llc_dist = _degraded_distance_tables(
+                partition, faults
+            )
+        else:
+            self._macs = pristine_macs
+            self._cacs = pristine_cacs
+            self._capacity = None
 
     # ------------------------------------------------------------------
     @property
@@ -116,14 +149,19 @@ class Mapper:
     # ------------------------------------------------------------------
     def set_error(self, affinity: SetAffinity, region: int) -> float:
         """Affinity error of placing one set in one region."""
-        eta_m = eta(affinity.mai, self._macs[region])
+        return self._set_error_with(affinity, region, self._macs, self._cacs)
+
+    def _set_error_with(
+        self, affinity: SetAffinity, region: int, macs, cacs
+    ) -> float:
+        eta_m = eta(affinity.mai, macs[region])
         if self.organization is LLCOrganization.PRIVATE:
             return eta_m
         if affinity.cai is None:
             raise ValueError(
                 f"set {affinity.set_id}: shared-LLC mapping needs a CAI vector"
             )
-        eta_c = eta(affinity.cai, self._cacs[region])
+        eta_c = eta(affinity.cai, cacs[region])
         if not self.alpha_weighting:
             # Algorithm 2 verbatim: argmin over eta1 + eta2.
             return eta_c + eta_m
@@ -131,11 +169,18 @@ class Mapper:
 
     def error_matrix(self, affinities: Sequence[SetAffinity]) -> np.ndarray:
         """``errors[i, r]`` for every (set index, region) pair."""
+        return self._error_matrix_with(affinities, self._macs, self._cacs)
+
+    def _error_matrix_with(
+        self, affinities: Sequence[SetAffinity], macs, cacs
+    ) -> np.ndarray:
         n_regions = self.partition.num_regions
         errors = np.empty((len(affinities), n_regions), dtype=float)
         for i, affinity in enumerate(affinities):
             for region in range(n_regions):
-                errors[i, region] = self.set_error(affinity, region)
+                errors[i, region] = self._set_error_with(
+                    affinity, region, macs, cacs
+                )
         return errors
 
     # ------------------------------------------------------------------
@@ -155,21 +200,11 @@ class Mapper:
         ids = [a.set_id for a in affinities]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate iteration set ids")
-        errors = self.error_matrix(affinities)
-        # Algorithm 1/2: argmin over regions, first minimum wins.
-        set_to_region = {
-            affinity.set_id: int(np.argmin(errors[i]))
-            for i, affinity in enumerate(affinities)
-        }
-        moved_fraction = 0.0
-        id_errors = _reindex_errors(errors, ids)
-        transfers = []
-        if self.balance:
-            # Balance on a set-id-indexed error view.
-            result = balance_regions(set_to_region, id_errors, self.partition)
-            set_to_region = result.set_to_region
-            moved_fraction = result.moved_fraction()
-            transfers = result.transfers
+        set_to_region, errors, id_errors, transfers, moved_fraction = (
+            self._region_pass(
+                affinities, ids, self._macs, self._cacs, self._capacity
+            )
+        )
         set_to_core = self._place_within_regions(set_to_region, affinities)
         if self.events is not None and self.events.enabled:
             self._emit_decisions(
@@ -182,6 +217,58 @@ class Mapper:
             moved_fraction=moved_fraction,
             errors=errors,
         )
+
+    def _region_pass(self, affinities, ids, macs, cacs, capacity):
+        """Algorithm 1/2 argmin + load balancing with one table set."""
+        errors = self._error_matrix_with(affinities, macs, cacs)
+        # Algorithm 1/2: argmin over regions, first minimum wins.
+        set_to_region = {
+            affinity.set_id: int(np.argmin(errors[i]))
+            for i, affinity in enumerate(affinities)
+        }
+        moved_fraction = 0.0
+        id_errors = _reindex_errors(errors, ids)
+        transfers = []
+        if self.balance:
+            # Balance on a set-id-indexed error view.
+            result = balance_regions(
+                set_to_region, id_errors, self.partition, capacity=capacity,
+            )
+            set_to_region = result.set_to_region
+            moved_fraction = result.moved_fraction()
+            transfers = result.transfers
+        return set_to_region, errors, id_errors, transfers, moved_fraction
+
+    def predicted_cost(
+        self,
+        set_to_region: Dict[int, int],
+        affinities: Sequence[SetAffinity],
+    ) -> float:
+        """Iteration-weighted expected NoC distance of one assignment.
+
+        Each set pays its traffic-weighted effective distance: the LLC leg
+        (CAI over per-region distances) and the memory leg (MAI over
+        per-MC distances), alpha-combined exactly as the mapping error is.
+        Distances come from the degraded topology, so detours, throttled
+        links and offline MCs all price in.  Only available on mappers
+        constructed with ``faults``.
+        """
+        if self.faults is None:
+            raise ValueError("predicted_cost needs a fault-aware mapper")
+        total = 0.0
+        for affinity in affinities:
+            region = set_to_region[affinity.set_id]
+            mem = _leg_cost(affinity.mai, self._mem_dist[region])
+            if (
+                self.organization is LLCOrganization.SHARED
+                and affinity.cai is not None
+            ):
+                llc = _leg_cost(affinity.cai, self._llc_dist[region])
+                leg = affinity.alpha * llc + (1.0 - affinity.alpha) * mem
+            else:
+                leg = mem
+            total += float(affinity.iterations) * leg
+        return total
 
     def _emit_decisions(
         self, nest_index, affinities, errors, set_to_region, set_to_core,
@@ -263,6 +350,67 @@ class Mapper:
                     set_to_core[set_id] = core
                     load[core] += sizes.get(set_id, 1)
         return set_to_core
+
+
+FAULT_CANDIDATE_MARGIN_OBSERVED = 0.02
+"""Relative predicted-cost improvement the fault-aware candidate must show
+over the oblivious fallback when its affinities are *observed* (the
+inspector path: exact per-set MAI/CAI measured on the degraded machine).
+The distance model prices detours and throttles faithfully but not
+queueing, so sub-percent predicted margins are noise; demanding a real
+margin keeps "fault-aware never worse than oblivious" true in simulation,
+not just in the model."""
+
+FAULT_CANDIDATE_MARGIN_ESTIMATED = 0.25
+"""The same bar for the compile-time path, whose affinities come from
+sampled CME estimates.  Estimation error stacks on top of the model's
+queueing blindness -- a concentrated post-fault placement can look far
+cheaper by distance yet saturate the few links feeding the surviving
+resources -- so the aware candidate must win by a wide margin before the
+compiler abandons the known-safe oblivious schedule."""
+
+_UNREACHABLE_COST = 1e9
+"""Stand-in distance for unreachable targets in candidate scoring.  Both
+candidates price an unreachable-but-touched target identically, so the
+tie-break (prefer oblivious) decides and no inf/nan arithmetic occurs."""
+
+
+def _leg_cost(weights: AffinityVector, dists: np.ndarray) -> float:
+    """Traffic-weighted mean distance of one leg (LLC or memory)."""
+    weights = np.asarray(weights, dtype=float)
+    mask = weights > 0
+    if not mask.any():
+        return 0.0
+    d = np.where(np.isfinite(dists), dists, _UNREACHABLE_COST)
+    return float(np.sum(weights[mask] * d[mask]))
+
+
+def _degraded_distance_tables(partition, topology):
+    """Effective per-region distance matrices under a degraded topology.
+
+    Returns ``(mem, llc)``: ``mem[r, m]`` is the mean effective distance
+    (in hop units) from region ``r``'s nodes to MC ``m`` (``inf`` when the
+    MC is offline); ``llc[r, q]`` the mean node-pair distance between
+    regions ``r`` and ``q``.
+    """
+    mesh = partition.mesh
+    num_mcs = len(mesh.mcs)
+    n = partition.num_regions
+    region_nodes = [partition.nodes_in_region(r) for r in range(n)]
+    mem = np.zeros((n, num_mcs), dtype=float)
+    llc = np.zeros((n, n), dtype=float)
+    for r in range(n):
+        nodes = region_nodes[r]
+        for mc in range(num_mcs):
+            mem[r, mc] = float(np.mean(
+                [topology.mc_distance_units(node, mc) for node in nodes]
+            ))
+        for q in range(n):
+            llc[r, q] = float(np.mean([
+                topology.distance_units(a, b)
+                for a in nodes for b in region_nodes[q]
+            ]))
+    return mem, llc
 
 
 def _reindex_errors(errors: np.ndarray, ids: Sequence[int]) -> np.ndarray:

@@ -33,7 +33,13 @@ from repro.ir.loops import ProgramInstance
 from repro.sim.config import SystemConfig
 
 from .analysis import ArchitectureView, build_set_affinity
-from .mapping import Mapper, PlacementStrategy, Schedule, SetAffinity
+from .mapping import (
+    FAULT_CANDIDATE_MARGIN_ESTIMATED,
+    Mapper,
+    PlacementStrategy,
+    Schedule,
+    SetAffinity,
+)
 from .proximity import MacMode
 from .regions import RegionPartition
 
@@ -91,9 +97,21 @@ class LocationAwareCompiler:
         analyze_gate: bool = False,
         seed: int = 11,
         telemetry=None,
+        fault_plan=None,
+        fault_aware: bool = True,
     ):
         self.config = config
         self.check_parallelism = check_parallelism
+        # Fault-aware compilation: with a non-empty repro.faults.FaultPlan
+        # and fault_aware=True, affinity analysis sees the degraded data
+        # distribution and the mapper steers by effective distances and
+        # capacities.  fault_aware=False compiles against the pristine
+        # machine view even though the plan will degrade the simulated
+        # hardware -- the oblivious arm of the A/B comparison.
+        if fault_plan is not None and fault_plan.is_empty:
+            fault_plan = None
+        self.fault_plan = fault_plan
+        self.fault_aware = fault_aware
         # Opt-in pre-run gate: run the repro.analyze certifier over every
         # nest and validate the derived affinity vectors; error findings
         # abort compilation with an AnalysisError carrying the report.
@@ -117,10 +135,21 @@ class LocationAwareCompiler:
             from .regions import partition_by_count
 
             self.partition = partition_by_count(mesh, num_regions)
+        distribution = config.build_distribution()
+        degraded = None
+        if self.fault_plan is not None and self.fault_aware:
+            from repro.faults import DegradedDistribution, DegradedTopology
+
+            degraded = DegradedTopology(
+                mesh, self.fault_plan, router_delay=config.router_delay
+            )
+            distribution = DegradedDistribution.from_plan(
+                distribution, self.fault_plan
+            )
         self.view = ArchitectureView(
-            partition=self.partition, distribution=config.build_distribution()
+            partition=self.partition, distribution=distribution
         )
-        self.mapper = Mapper(
+        mapper_kwargs = dict(
             partition=self.partition,
             organization=config.llc_organization,
             mac_mode=mac_mode,
@@ -129,8 +158,30 @@ class LocationAwareCompiler:
             balance=balance,
             alpha_weighting=alpha_weighting,
             seed=seed,
-            events=self.telemetry.events if self.telemetry is not None else None,
         )
+        self.mapper = Mapper(
+            events=self.telemetry.events if self.telemetry is not None else None,
+            faults=degraded,
+            **mapper_kwargs,
+        )
+        # Graceful degradation by construction: next to the fault-aware
+        # mapper, keep the exact pipeline a --no-fault-aware compile runs
+        # (pristine view, pristine tables, fresh deterministic RNG).  Each
+        # nest is scheduled by both and the predicted-cheaper schedule
+        # under the *degraded* topology wins, oblivious on ties -- so
+        # fault-awareness can fall back to fault-blind behaviour bit for
+        # bit, but never regress below it.
+        self.oblivious_view = None
+        self.oblivious_mapper = None
+        self._oblivious_affinities: Dict[Tuple[int, int], SetAffinity] = {}
+        if degraded is not None:
+            self.oblivious_view = ArchitectureView(
+                partition=self.partition,
+                distribution=config.build_distribution(),
+            )
+            self.oblivious_mapper = Mapper(
+                events=None, faults=None, **mapper_kwargs
+            )
         # CME models the capacity the program actually has available: the
         # local bank for private LLCs, the aggregate for S-NUCA.
         llc_bytes = config.l2_size_bytes
@@ -175,12 +226,53 @@ class LocationAwareCompiler:
                 result.affinities[(nest_index, affinity.set_id)] = affinity
             if self.telemetry is not None:
                 with self.telemetry.phase("assign"):
-                    schedule = self.mapper.assign(affinities, nest_index=nest_index)
+                    schedule = self._assign_nest(nest_index, affinities)
             else:
-                schedule = self.mapper.assign(affinities, nest_index=nest_index)
+                schedule = self._assign_nest(nest_index, affinities)
             result.schedules[nest_index] = schedule.set_to_core
             result.moved_fractions[nest_index] = schedule.moved_fraction
         return result
+
+    def _assign_nest(
+        self, nest_index: int, affinities: List[SetAffinity]
+    ) -> Schedule:
+        """Map one nest; under faults, race the aware and oblivious arms.
+
+        The oblivious arm reruns the mapper exactly as a
+        ``fault_aware=False`` compile would (pristine view, pristine
+        tables), so falling back to it reproduces the fault-blind
+        schedule verbatim.  Both candidates are priced by effective
+        post-fault distances and the cheaper wins, the oblivious one on
+        ties: fault-awareness never predicts worse than fault-blindness.
+        """
+        schedule = self.mapper.assign(affinities, nest_index=nest_index)
+        if self.oblivious_mapper is None:
+            return schedule
+        oblivious_affinities = [
+            self._oblivious_affinities[(nest_index, a.set_id)]
+            for a in affinities
+        ]
+        oblivious = self.oblivious_mapper.assign(
+            oblivious_affinities, nest_index=nest_index
+        )
+        cost_aware = self.mapper.predicted_cost(
+            schedule.set_to_region, affinities
+        )
+        cost_oblivious = self.mapper.predicted_cost(
+            oblivious.set_to_region, affinities
+        )
+        chose_aware = cost_aware < cost_oblivious * (
+            1.0 - FAULT_CANDIDATE_MARGIN_ESTIMATED
+        )
+        if self.telemetry is not None:
+            self.telemetry.events.emit(
+                "mapper.fault_candidates",
+                nest=nest_index,
+                cost_aware=round(cost_aware, 6),
+                cost_oblivious=round(cost_oblivious, 6),
+                chosen="aware" if chose_aware else "oblivious",
+            )
+        return schedule if chose_aware else oblivious
 
     # ------------------------------------------------------------------
     # Pre-run static gate (repro.analyze)
@@ -222,7 +314,26 @@ class LocationAwareCompiler:
         nest_index: int,
         sets: List[IterationSet],
     ) -> List[SetAffinity]:
+        # One estimator pass per nest, shared by both machine views: the
+        # estimator is view-independent but stateful (sampling RNG), so a
+        # second call would desynchronize later nests from a fault-blind
+        # compile and break the oblivious arm's bit-for-bit equivalence.
         estimates = self.estimator.estimate_nest(instance, nest_index, sets)
+        affinities = self._affinities_from(sets, estimates, self.view)
+        if self.oblivious_view is not None:
+            for affinity in self._affinities_from(
+                sets, estimates, self.oblivious_view
+            ):
+                key = (nest_index, affinity.set_id)
+                self._oblivious_affinities[key] = affinity
+        return affinities
+
+    def _affinities_from(
+        self,
+        sets: List[IterationSet],
+        estimates,
+        view: ArchitectureView,
+    ) -> List[SetAffinity]:
         affinities: List[SetAffinity] = []
         for iteration_set in sets:
             estimate = estimates[iteration_set.set_id]
@@ -230,7 +341,7 @@ class LocationAwareCompiler:
                 build_set_affinity(
                     set_id=iteration_set.set_id,
                     accesses=estimate.accesses,
-                    view=self.view,
+                    view=view,
                     organization=self.config.llc_organization,
                     iterations=iteration_set.size,
                 )

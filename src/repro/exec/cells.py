@@ -88,12 +88,28 @@ class SweepCell:
     seed: Optional[int] = None
     workloads: Tuple[str, ...] = ()
     workload_args: KWPairs = ()
+    faults: Tuple[str, ...] = ()
+    fault_aware: bool = True
 
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "workload_args", _freeze_args(self.workload_args)
         )
         object.__setattr__(self, "workloads", tuple(self.workloads))
+        if self.faults:
+            if self.workloads:
+                raise ValueError(
+                    "fault plans are not supported on multiprog bundles"
+                )
+            # Canonicalize at construction: two cells spelling the same
+            # plan differently must share one identity and cache key.
+            from repro.faults import FaultPlan
+
+            object.__setattr__(
+                self, "faults", FaultPlan.parse(self.faults).to_specs()
+            )
+        else:
+            object.__setattr__(self, "faults", ())
 
     @property
     def kind(self) -> str:
@@ -104,7 +120,7 @@ class SweepCell:
     # -- identity ---------------------------------------------------------
     def identity(self) -> Dict[str, Any]:
         """Everything that determines this cell's result, except the seed."""
-        return {
+        identity = {
             "kind": self.kind,
             "workload": self.workload,
             "workloads": list(self.workloads),
@@ -116,6 +132,13 @@ class SweepCell:
             "observe": self.observe,
             "collect_obs": self.collect_obs,
         }
+        if self.faults:
+            # Only faulted cells carry the extra keys: zero-fault cells keep
+            # the exact pre-faults identity, so their cache keys and derived
+            # seeds are stable across this feature's introduction.
+            identity["faults"] = list(self.faults)
+            identity["fault_aware"] = self.fault_aware
+        return identity
 
     def effective_seed(self, base: int = DEFAULT_BASE_SEED) -> int:
         """The seed this cell actually runs with.

@@ -90,6 +90,11 @@ def execute_cell(cell: SweepCell) -> Dict[str, Any]:
             if cell.collect_obs
             else None
         )
+        fault_plan = None
+        if cell.faults:
+            from repro.faults import FaultPlan
+
+            fault_plan = FaultPlan.parse(cell.faults)
         result = run_workload(
             workload,
             cell.config,
@@ -100,6 +105,8 @@ def execute_cell(cell: SweepCell) -> Dict[str, Any]:
             observe=cell.observe,
             seed=seed,
             telemetry=telemetry,
+            fault_plan=fault_plan,
+            fault_aware=cell.fault_aware,
         )
         payload = {
             "kind": "single",

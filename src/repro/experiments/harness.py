@@ -172,8 +172,17 @@ def run_workload(
     inspector_cost: Optional[InspectorCost] = None,
     telemetry: Optional[Telemetry] = None,
     analyze_gate: bool = False,
+    fault_plan=None,
+    fault_aware: bool = True,
 ) -> RunResult:
     """Simulate one workload end to end; returns stats + artifacts.
+
+    ``fault_plan`` (a :class:`repro.faults.FaultPlan`) degrades the
+    simulated hardware -- downed/throttled links, hotspot routers,
+    offline LLC banks, throttled/offline MCs.  With ``fault_aware=True``
+    (default) the location-aware compiler maps against the degraded
+    machine; ``fault_aware=False`` keeps the mapping oblivious for A/B
+    comparison.  An empty plan is identical to no plan at all.
 
     ``analyze_gate=True`` runs the :mod:`repro.analyze` static checks
     (parallel-safety certification plus config/mapping invariants) before
@@ -193,8 +202,10 @@ def run_workload(
     """
     if mapping not in MAPPINGS:
         raise ValueError(f"unknown mapping {mapping!r}; one of {MAPPINGS}")
+    if fault_plan is not None and fault_plan.is_empty:
+        fault_plan = None
     if analyze_gate:
-        _analyze_gate(workload=workload, config=config)
+        _analyze_gate(workload=workload, config=config, fault_plan=fault_plan)
     if telemetry is not None and not telemetry.enabled:
         telemetry = None
     wall_start = time.perf_counter()
@@ -219,7 +230,10 @@ def run_workload(
         translation = _build_translation(
             mapping, instance, iteration_sets, config
         )
-        machine = Manycore(config, translation=translation, telemetry=telemetry)
+        machine = Manycore(
+            config, translation=translation, telemetry=telemetry,
+            faults=fault_plan,
+        )
         trace = ProgramTrace(instance, iteration_sets)
         engine = ExecutionEngine(machine, trace)
         num_cores = machine.mesh.num_nodes
@@ -247,7 +261,8 @@ def run_workload(
         if wants_la:
             compiler = _build_compiler(
                 config, cme_accuracy, set_fraction, seed, compiler_kwargs,
-                telemetry=telemetry,
+                telemetry=telemetry, fault_plan=fault_plan,
+                fault_aware=fault_aware,
             )
             with _timed("compile"):
                 compiled = compiler.compile(instance)
@@ -282,13 +297,15 @@ def run_workload(
 
         compiler = _build_compiler(
             config, cme_accuracy, set_fraction, seed, compiler_kwargs,
-            telemetry=telemetry,
+            telemetry=telemetry, fault_plan=fault_plan,
+            fault_aware=fault_aware,
         )
         inspector = InspectorExecutor(
             engine=engine,
             mapper=compiler.mapper,
             region_of_node=compiler.partition.region_of_node,
             cost=inspector_cost,
+            oblivious_mapper=compiler.oblivious_mapper,
         )
         inspect_end = run_phase(
             base_schedules, label=INSPECT_LABEL, phase="sim.inspect"
@@ -346,7 +363,19 @@ def run_workload(
             scale=scale,
             wall_seconds=time.perf_counter() - wall_start,
             phase_seconds=telemetry.phase_seconds(),
-            extra={"trips": modeled_trips, "cme_accuracy": cme_accuracy},
+            extra={
+                "trips": modeled_trips,
+                "cme_accuracy": cme_accuracy,
+                **(
+                    {
+                        "faults": list(fault_plan.to_specs()),
+                        "fault_plan_hash": fault_plan.plan_hash(),
+                        "fault_aware": fault_aware,
+                    }
+                    if fault_plan is not None
+                    else {}
+                ),
+            },
         )
         stats.manifest = telemetry.manifest
     return RunResult(
@@ -391,13 +420,15 @@ def run_workloads(
 
 
 def _build_compiler(config, cme_accuracy, set_fraction, seed, compiler_kwargs,
-                    telemetry=None):
+                    telemetry=None, fault_plan=None, fault_aware=True):
     return LocationAwareCompiler(
         config,
         cme_accuracy=cme_accuracy,
         iteration_set_fraction=set_fraction,
         seed=seed,
         telemetry=telemetry,
+        fault_plan=fault_plan,
+        fault_aware=fault_aware,
         **compiler_kwargs,
     )
 
@@ -413,6 +444,8 @@ def compare(
     seed: int = 11,
     compiler_kwargs: Optional[dict] = None,
     telemetry: Optional[Telemetry] = None,
+    fault_plan=None,
+    fault_aware: bool = True,
 ) -> Tuple[Comparison, RunResult, RunResult]:
     """Baseline (default mapping) vs an optimized mapping on one config.
 
@@ -422,7 +455,8 @@ def compare(
     ``opt.stats.manifest`` therefore describe the optimized run.
     """
     base = run_workload(
-        workload, config, mapping="default", scale=scale, trips=trips, seed=seed
+        workload, config, mapping="default", scale=scale, trips=trips,
+        seed=seed, fault_plan=fault_plan, fault_aware=fault_aware,
     )
     opt = run_workload(
         workload,
@@ -435,6 +469,8 @@ def compare(
         seed=seed,
         compiler_kwargs=compiler_kwargs,
         telemetry=telemetry,
+        fault_plan=fault_plan,
+        fault_aware=fault_aware,
     )
     comparison = Comparison(
         name=workload.name, baseline=base.stats, optimized=opt.stats

@@ -1,0 +1,39 @@
+"""Fault injection and graceful degradation (``repro.faults``).
+
+The subsystem has three layers:
+
+* :mod:`repro.faults.plan` -- the declarative :class:`FaultPlan` spec
+  (parse / normalize / validate / hash);
+* :mod:`repro.faults.degrade` -- :class:`DegradedTopology`, the
+  effective post-fault mesh (detour routing, effective distances,
+  throttled link service) shared by the NoC timing models and the
+  degradation-aware mapper;
+* :mod:`repro.faults.inject` -- :class:`DegradedDistribution`, the
+  address re-interleave around offlined MCs and LLC banks.
+
+An empty (or ``None``) plan is guaranteed to leave every simulator code
+path untouched; ``tests/faults/test_zero_fault_equivalence.py`` checks
+that bit-for-bit.
+"""
+
+from .degrade import DegradedTopology
+from .inject import DegradedDistribution
+from .plan import (
+    BankFault,
+    FaultPlan,
+    FaultPlanError,
+    LinkFault,
+    McFault,
+    RouterFault,
+)
+
+__all__ = [
+    "BankFault",
+    "DegradedDistribution",
+    "DegradedTopology",
+    "FaultPlan",
+    "FaultPlanError",
+    "LinkFault",
+    "McFault",
+    "RouterFault",
+]

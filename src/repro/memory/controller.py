@@ -8,6 +8,7 @@ paper's mapping spreads out) turns into latency.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List
 
@@ -54,6 +55,9 @@ class MemoryController:
         self.num_channels = num_channels
         self.layout = layout
         self.stats = ControllerStats()
+        # Service-rate derating injected by a fault plan (mc:I:throttle=F);
+        # 1.0 is the pristine controller and changes nothing below.
+        self.throttle = 1.0
         # Completion times of requests currently occupying buffer slots.
         self._inflight: List[int] = []
 
@@ -83,6 +87,10 @@ class MemoryController:
             self._inflight = [t for t in self._inflight if t > start]
         issue = start + self.frontend_latency
         done = self.channel.access(self._channel_address(addr), issue)
+        if self.throttle < 1.0:
+            # A throttled MC services the same request in proportionally
+            # more cycles, which also holds its buffer slot longer.
+            done = issue + int(math.ceil((done - issue) / self.throttle))
         self._inflight.append(done)
         self.stats.requests += 1
         self.stats.total_latency += done - time

@@ -19,7 +19,7 @@ check the analytic model tracks it on random traffic.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .network import BaseNetwork
 from .packet import Packet
@@ -62,14 +62,35 @@ class AnalyticNetwork(BaseNetwork):
         rho = max(prev_rho, partial)
         return min(rho, _MAX_RHO)
 
-    def _transfer(self, packet: Packet, hops: int) -> Tuple[int, int]:
-        links = xy_links(self.mesh, packet.src, packet.dst)
+    def _transfer(
+        self,
+        packet: Packet,
+        hops: int,
+        links: Optional[List[Tuple[int, int]]] = None,
+    ) -> Tuple[int, int]:
+        faults = self.faults
+        if links is None:
+            links = xy_links(self.mesh, packet.src, packet.dst)
         self._record_links(links, packet.num_flits)
-        base = hops * (self.router_delay + 1) + (packet.num_flits - 1)
-        queueing = 0.0
-        for link in links:
-            rho = self._utilization(link, packet.inject_time, packet.num_flits)
-            queueing += rho * packet.num_flits / (2.0 * (1.0 - rho))
+        if faults is None:
+            base = hops * (self.router_delay + 1) + (packet.num_flits - 1)
+            queueing = 0.0
+            for link in links:
+                rho = self._utilization(link, packet.inject_time, packet.num_flits)
+                queueing += rho * packet.num_flits / (2.0 * (1.0 - rho))
+        else:
+            # Hotspot routers lengthen the pipeline term per hop; throttled
+            # links inflate both the utilization sample and the service time
+            # in the M/D/1 numerator, mirroring the wormhole model's longer
+            # link reservation.
+            extra = faults.router_extra
+            base = packet.num_flits - 1
+            queueing = 0.0
+            for link in links:
+                base += self.router_delay + 1 + extra.get(link[0], 0)
+                service = faults.link_service_flits(link, packet.num_flits)
+                rho = self._utilization(link, packet.inject_time, service)
+                queueing += rho * service / (2.0 * (1.0 - rho))
         wait = int(round(queueing))
         return packet.inject_time + base + wait, wait
 

@@ -68,12 +68,25 @@ class BaseNetwork:
         self.router_delay = router_delay
         self.zero_latency = zero_latency
         self.stats = NetworkStats()
+        # Fault attachment (see apply_faults): a DegradedTopology, or None
+        # for the pristine machine.  The pristine per-packet path pays one
+        # ``is None`` predicate, nothing more.
+        self.faults = None
         # Telemetry attachment (see set_telemetry); all None when disabled
         # so the per-packet fast path pays one predicate, nothing more.
         self.telemetry = None
         self._spatial = None
         self._hist_latency = None
         self._hist_hops = None
+
+    def apply_faults(self, degraded) -> None:
+        """Attach a :class:`repro.faults.DegradedTopology` (or None).
+
+        With faults attached, routes come from the degraded topology
+        (X-Y unless detouring around a downed link), hotspot routers add
+        pipeline cycles, and throttled links stretch their occupancy.
+        """
+        self.faults = degraded
 
     def set_telemetry(self, telemetry) -> None:
         """Attach a :class:`repro.obs.Telemetry` hub (or None to detach).
@@ -107,8 +120,7 @@ class BaseNetwork:
         ideal (zero-latency) network used for the Figure 2 upper bound and
         records statistics.
         """
-        hops = self.mesh.node_distance(packet.src, packet.dst)
-        if self.zero_latency or hops == 0:
+        if self.zero_latency or packet.src == packet.dst:
             # Local delivery (or the ideal network of Figure 2): the message
             # does not enter the mesh.
             self.stats.record(latency=0, hops=0, flits=packet.num_flits, queueing=0)
@@ -116,7 +128,15 @@ class BaseNetwork:
                 self._hist_latency.record(0)
                 self._hist_hops.record(0)
             return packet.inject_time
-        arrival, queueing = self._transfer(packet, hops)
+        faults = self.faults
+        if faults is None:
+            hops = self.mesh.node_distance(packet.src, packet.dst)
+            links = None
+        else:
+            # Detours around downed links may be longer than Manhattan.
+            links = faults.route(packet.src, packet.dst)
+            hops = len(links)
+        arrival, queueing = self._transfer(packet, hops, links)
         latency = arrival - packet.inject_time
         self.stats.record(
             latency=latency, hops=hops, flits=packet.num_flits, queueing=queueing
@@ -126,7 +146,12 @@ class BaseNetwork:
             self._hist_hops.record(hops)
         return arrival
 
-    def _transfer(self, packet: Packet, hops: int) -> Tuple[int, int]:
+    def _transfer(
+        self,
+        packet: Packet,
+        hops: int,
+        links: Optional[List[Tuple[int, int]]] = None,
+    ) -> Tuple[int, int]:
         raise NotImplementedError
 
     def uncontended_latency(self, src: int, dst: int, num_flits: int) -> int:
@@ -147,22 +172,45 @@ class WormholeNetwork(BaseNetwork):
         super().__init__(mesh, router_delay, zero_latency)
         self._link_free: Dict[Tuple[int, int], int] = {}
 
-    def _transfer(self, packet: Packet, hops: int) -> Tuple[int, int]:
-        links = xy_links(self.mesh, packet.src, packet.dst)
+    def _transfer(
+        self,
+        packet: Packet,
+        hops: int,
+        links: Optional[List[Tuple[int, int]]] = None,
+    ) -> Tuple[int, int]:
+        faults = self.faults
+        if links is None:
+            links = xy_links(self.mesh, packet.src, packet.dst)
         self._record_links(links, packet.num_flits)
         head = packet.inject_time
         queueing = 0
-        for link in links:
-            # Router pipeline at the upstream node, then wait for the link.
-            ready = head + self.router_delay
-            free_at = self._link_free.get(link, 0)
-            if free_at > ready:
-                queueing += free_at - ready
-                ready = free_at
-            # Head flit crosses in one cycle; the link then carries the rest
-            # of the worm, one flit per cycle.
-            head = ready + 1
-            self._link_free[link] = ready + packet.num_flits
+        if faults is None:
+            for link in links:
+                # Router pipeline at the upstream node, then wait for the link.
+                ready = head + self.router_delay
+                free_at = self._link_free.get(link, 0)
+                if free_at > ready:
+                    queueing += free_at - ready
+                    ready = free_at
+                # Head flit crosses in one cycle; the link then carries the
+                # rest of the worm, one flit per cycle.
+                head = ready + 1
+                self._link_free[link] = ready + packet.num_flits
+        else:
+            extra = faults.router_extra
+            for link in links:
+                # Hotspot routers add pipeline cycles at the upstream node;
+                # throttled links carry the worm below one flit per cycle,
+                # so they stay reserved proportionally longer.
+                ready = head + self.router_delay + extra.get(link[0], 0)
+                free_at = self._link_free.get(link, 0)
+                if free_at > ready:
+                    queueing += free_at - ready
+                    ready = free_at
+                head = ready + 1
+                self._link_free[link] = ready + faults.link_service_flits(
+                    link, packet.num_flits
+                )
         # Tail arrives (num_flits - 1) cycles after the head.
         return head + packet.num_flits - 1, queueing
 

@@ -116,6 +116,70 @@ def heatmap_csv(
     return out.getvalue()
 
 
+def render_fault_overlay(
+    mesh: Mesh2D,
+    plan,
+    title: Optional[str] = None,
+) -> str:
+    """ASCII mesh overlay of a :class:`repro.faults.FaultPlan`.
+
+    One cell per node; markers compose per node:
+
+    * ``B`` -- this node's LLC bank is offline;
+    * ``R`` -- hotspot router (extra pipeline cycles);
+    * ``M!``/``M~`` -- the MC at this node is offline / throttled;
+    * ``x``/``~`` suffix -- at least one outgoing link is down / throttled.
+
+    A textual list of the plan's specs follows the grid, so the overlay
+    is self-describing in CI logs.
+    """
+    offline_banks = {f.bank for f in plan.banks}
+    hotspots = {mesh.node_id(f.node) for f in plan.routers}
+    mc_state: Dict[int, str] = {}
+    for f in plan.mcs:
+        mc_state[mesh.mc_node(f.mc)] = "M!" if f.offline else "M~"
+    link_state: Dict[int, str] = {}
+    for f in plan.links:
+        src = mesh.node_id(f.src)
+        mark = "x" if f.down else "~"
+        # A downed outgoing link outranks a throttled one on the same node.
+        if link_state.get(src) != "x":
+            link_state[src] = mark
+    values: Dict[int, str] = {}
+    for node in range(mesh.num_nodes):
+        marks = ""
+        if node in mc_state:
+            marks += mc_state[node]
+        if node in offline_banks:
+            marks += "B"
+        if node in hotspots:
+            marks += "R"
+        marks += link_state.get(node, "")
+        values[node] = marks or "."
+    width = max(5, max(len(v) for v in values.values()) + 2)
+    lines = []
+    if title:
+        lines.append(title)
+    grid_lines = []
+    for y in range(mesh.height):
+        row = []
+        for x in range(mesh.width):
+            node = mesh.node_id((x, y))
+            row.append(values[node].center(width))
+        grid_lines.append("".join(row))
+    lines.extend(grid_lines)
+    lines.append(
+        "legend: B bank offline, R hotspot router, M! MC offline, "
+        "M~ MC throttled, x link down, ~ link throttled"
+    )
+    if plan.is_empty:
+        lines.append("faults: (none)")
+    else:
+        lines.append("faults:")
+        lines.extend(f"  {spec}" for spec in plan.to_specs())
+    return "\n".join(lines)
+
+
 def render_phase_table(telemetry: Telemetry, title: str = "phase profile") -> str:
     rows = telemetry.phase_rows()
     if not rows:

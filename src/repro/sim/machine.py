@@ -69,11 +69,30 @@ class Manycore:
         config: SystemConfig,
         translation: Optional[object] = None,
         telemetry: Optional[object] = None,
+        faults: Optional[object] = None,
     ):
         self.config = config
         self.mesh = config.build_mesh()
         self.layout = config.layout()
         self.distribution = config.build_distribution()
+        # Fault injection: an empty plan is normalized to None so every
+        # zero-fault machine takes literally the pristine code paths.
+        if faults is not None and faults.is_empty:
+            faults = None
+        self.fault_plan = faults
+        self.degraded = None
+        if faults is not None:
+            from repro.faults import DegradedDistribution, DegradedTopology
+
+            self.degraded = DegradedTopology(
+                self.mesh, faults, router_delay=config.router_delay
+            )
+            # Re-interleave addresses off dead MCs/banks *before* the
+            # S-NUCA mapper is built so home lookups (scalar and batch)
+            # agree on the degraded distribution.
+            self.distribution = DegradedDistribution.from_plan(
+                self.distribution, faults
+            )
         self.snuca = SnucaMapper(
             mesh=self.mesh,
             distribution=self.distribution,
@@ -96,6 +115,10 @@ class Manycore:
             )
             for i in range(config.num_mcs)
         ]
+        if self.degraded is not None:
+            self.network.apply_faults(self.degraded)
+            for index, factor in self.degraded.mc_throttle.items():
+                self.mcs[index].throttle = factor
         self.translation = translation or IdentityTranslation(self.layout)
         self.observer: Optional[Observer] = None
         self._line_mask = ~(config.l2_line_bytes - 1)
@@ -108,6 +131,12 @@ class Manycore:
                 self.mesh.num_nodes, config.num_mcs
             )
             self.network.set_telemetry(telemetry)
+            if self.fault_plan is not None:
+                plan_hash = self.fault_plan.plan_hash()
+                for spec in self.fault_plan.to_specs():
+                    telemetry.events.emit(
+                        "fault.inject", spec=spec, plan_hash=plan_hash
+                    )
 
     @staticmethod
     def _build_network(config: SystemConfig) -> BaseNetwork:

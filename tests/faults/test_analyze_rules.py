@@ -1,0 +1,70 @@
+"""FLT001-FLT003: static legality of fault plans."""
+
+import pytest
+
+from repro.analyze import AnalysisError, analyze_run, gate, rule_catalogue
+from repro.faults import FaultPlan
+from repro.sim.config import DEFAULT_CONFIG
+
+
+def _rules_fired(report):
+    return {d.rule_id for d in report.diagnostics}
+
+
+class TestCatalogue:
+    def test_flt_rules_registered(self):
+        rules = {row["rule"] for row in rule_catalogue()}
+        assert {"FLT001", "FLT002", "FLT003"} <= rules
+
+
+class TestFlt001Resources:
+    def test_valid_plan_passes(self):
+        plan = FaultPlan.parse(
+            ["link:3,4->4,4:down", "mc:1:throttle=0.5", "bank:12:offline"]
+        )
+        report = analyze_run(config=DEFAULT_CONFIG, fault_plan=plan)
+        assert report.ok
+
+    def test_unknown_bank_rejected(self):
+        plan = FaultPlan.parse(["bank:999:offline"])
+        report = analyze_run(config=DEFAULT_CONFIG, fault_plan=plan)
+        assert not report.ok
+        assert "FLT001" in _rules_fired(report)
+
+    def test_gate_raises(self):
+        with pytest.raises(AnalysisError) as exc:
+            gate(
+                config=DEFAULT_CONFIG,
+                fault_plan=FaultPlan.parse(["mc:7:offline"]),
+            )
+        assert not exc.value.report.ok
+
+
+class TestFlt002Connectivity:
+    def test_disconnecting_plan_rejected(self):
+        plan = FaultPlan.parse([
+            "link:0,0->1,0:down", "link:1,0->0,0:down",
+            "link:0,0->0,1:down", "link:0,1->0,0:down",
+        ])
+        report = analyze_run(config=DEFAULT_CONFIG, fault_plan=plan)
+        assert not report.ok
+        assert "FLT002" in _rules_fired(report)
+
+
+class TestFlt003McReachability:
+    def test_all_mcs_offline_rejected(self):
+        plan = FaultPlan.parse([f"mc:{i}:offline" for i in range(4)])
+        report = analyze_run(config=DEFAULT_CONFIG, fault_plan=plan)
+        assert not report.ok
+        assert "FLT003" in _rules_fired(report)
+
+    def test_some_mcs_offline_is_fine(self):
+        plan = FaultPlan.parse(["mc:0:offline", "mc:1:offline"])
+        report = analyze_run(config=DEFAULT_CONFIG, fault_plan=plan)
+        assert report.ok
+
+
+class TestScoping:
+    def test_no_plan_no_flt_findings(self):
+        report = analyze_run(config=DEFAULT_CONFIG)
+        assert not {r for r in _rules_fired(report) if r.startswith("FLT")}

@@ -1,0 +1,86 @@
+"""Deterministic fault matrix: the machine degrades, never crashes.
+
+One plan per fault family (link, MC, bank).  Under each, both engines
+complete the simulation, and the fault-aware mapping's NoC latency is no
+worse than the fault-oblivious one (geomean over apps) -- equality is the
+designed fallback, improvement the bonus.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.harness import run_workload
+from repro.faults import FaultPlan
+from repro.sim.config import DEFAULT_CONFIG, NetworkModel
+from repro.workloads import build_workload
+
+SCALE = 0.2
+APPS = ("mxm", "nbf")
+
+MATRIX = {
+    "link": FaultPlan.parse([
+        "link:2,2->3,2:down",
+        "link:3,2->2,2:down",
+        "router:2,2:hotspot=+8cyc",
+    ]),
+    "mc": FaultPlan.parse(["mc:0:offline", "mc:1:offline"]),
+    "bank": FaultPlan.parse([
+        "bank:14:offline", "bank:15:offline",
+        "bank:20:offline", "bank:21:offline",
+    ]),
+}
+
+
+@pytest.mark.parametrize("family", sorted(MATRIX))
+def test_fault_aware_no_worse_than_oblivious(family):
+    plan = MATRIX[family]
+    ratios = []
+    for app in APPS:
+        workload = build_workload(app)
+        aware = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=SCALE,
+            fault_plan=plan, fault_aware=True,
+        )
+        oblivious = run_workload(
+            workload, DEFAULT_CONFIG, mapping="la", scale=SCALE,
+            fault_plan=plan, fault_aware=False,
+        )
+        assert aware.stats.execution_cycles > 0
+        assert oblivious.stats.execution_cycles > 0
+        a = aware.stats.avg_network_latency
+        o = oblivious.stats.avg_network_latency
+        assert o > 0
+        ratios.append(a / o)
+    geomean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    assert geomean <= 1.0 + 1e-6, (
+        f"{family}: fault-aware geomean NoC latency ratio {geomean:.4f} "
+        f"exceeds the oblivious baseline (per-app: {ratios})"
+    )
+
+
+@pytest.mark.parametrize("family", sorted(MATRIX))
+def test_reference_engine_completes_under_faults(family):
+    config = DEFAULT_CONFIG.with_updates(network_model=NetworkModel.WORMHOLE)
+    result = run_workload(
+        build_workload("mxm"), config, mapping="la", scale=SCALE,
+        fault_plan=MATRIX[family], fault_aware=True,
+    )
+    assert result.stats.execution_cycles > 0
+    assert result.stats.avg_network_latency > 0
+
+
+def test_faults_slow_the_machine_down():
+    """Sanity: the matrix plans actually degrade, they are not no-ops."""
+    pristine = run_workload(
+        build_workload("mxm"), DEFAULT_CONFIG, mapping="la", scale=SCALE
+    )
+    for family, plan in MATRIX.items():
+        degraded = run_workload(
+            build_workload("mxm"), DEFAULT_CONFIG, mapping="la", scale=SCALE,
+            fault_plan=plan, fault_aware=False,
+        )
+        assert (
+            degraded.stats.avg_network_latency
+            > pristine.stats.avg_network_latency
+        ), family

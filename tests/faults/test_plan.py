@@ -1,0 +1,114 @@
+"""FaultPlan grammar, normalization, hashing and validation."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, FaultPlanError
+from repro.sim.config import DEFAULT_CONFIG
+
+MESH = DEFAULT_CONFIG.build_mesh()
+
+SPECS = [
+    "link:3,4->4,4:down",
+    "mc:1:throttle=0.5",
+    "bank:12:offline",
+    "router:2,2:hotspot=+8cyc",
+]
+
+
+class TestParsing:
+    def test_round_trips_canonical_specs(self):
+        plan = FaultPlan.parse(SPECS)
+        assert list(plan.to_specs()) == sorted(SPECS, key=plan.to_specs().index)
+        assert len(plan) == 4
+        assert not plan.is_empty
+
+    def test_spec_order_is_normalized(self):
+        a = FaultPlan.parse(SPECS)
+        b = FaultPlan.parse(list(reversed(SPECS)))
+        assert a.to_specs() == b.to_specs()
+        assert a.plan_hash() == b.plan_hash()
+        assert a == b
+
+    def test_empty(self):
+        plan = FaultPlan.empty()
+        assert plan.is_empty
+        assert len(plan) == 0
+        assert plan.to_specs() == ()
+        assert FaultPlan.parse([]).is_empty
+
+    def test_from_json(self):
+        assert FaultPlan.from_json(SPECS) == FaultPlan.parse(SPECS)
+        assert (
+            FaultPlan.from_json(json.loads(json.dumps({"faults": SPECS})))
+            == FaultPlan.parse(SPECS)
+        )
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("bank:1:offline")
+
+    def test_hash_differs_between_plans(self):
+        assert (
+            FaultPlan.parse(["bank:1:offline"]).plan_hash()
+            != FaultPlan.parse(["bank:2:offline"]).plan_hash()
+        )
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "link:3,4-4,4:down",          # malformed arrow
+            "link:3,4->4,4:sideways",     # unknown action
+            "mc:1:throttle=1.0",          # no-op throttle is rejected
+            "mc:1:throttle=0",            # zero throttle = offline, say so
+            "mc:1:throttle=-0.5",
+            "bank:12",                    # missing action
+            "router:2,2:hotspot=+0cyc",   # hotspot must add >= 1 cycle
+            "gpu:0:offline",              # unknown resource
+            "",
+        ],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse([spec])
+
+    def test_duplicate_resource_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(["mc:1:offline", "mc:1:throttle=0.5"])
+
+
+class TestValidation:
+    def test_valid_plan_has_no_problems(self):
+        assert FaultPlan.parse(SPECS).validate_against(MESH) == []
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bank:999:offline",
+            "mc:9:offline",
+            "router:7,7:hotspot=+2cyc",
+            "link:5,5->7,5:down",
+        ],
+    )
+    def test_out_of_range_resources_reported(self, spec):
+        plan = FaultPlan.parse([spec])
+        problems = plan.validate_against(MESH)
+        assert problems, spec
+
+    def test_non_adjacent_link_reported(self):
+        plan = FaultPlan.parse(["link:0,0->2,0:down"])
+        assert plan.validate_against(MESH)
+
+
+class TestAccessors:
+    def test_offline_and_throttle_views(self):
+        plan = FaultPlan.parse(
+            ["mc:0:offline", "mc:2:throttle=0.25", "bank:3:offline"]
+        )
+        assert plan.offline_mcs() == frozenset({0})
+        assert plan.offline_banks() == frozenset({3})
+        assert plan.mc_throttles() == {2: 0.25}
+
+    def test_describe_mentions_every_fault(self):
+        text = FaultPlan.parse(SPECS).describe()
+        for token in ("link", "mc", "bank", "router"):
+            assert token in text

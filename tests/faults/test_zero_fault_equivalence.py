@@ -1,0 +1,114 @@
+"""The differential zero-fault guarantee.
+
+An absent faults layer, ``fault_plan=None`` and an *empty* FaultPlan must
+be indistinguishable -- bit-identical RunStats, spatial accumulators,
+event streams and sweep payloads -- on both network engines, across the
+whole suite.  The faults subsystem earns its keep only if its "off" state
+is provably free.
+"""
+
+import dataclasses
+import hashlib
+
+import pytest
+
+from repro.exec import run_sweep, sweep_matrix, sweep_table
+from repro.experiments.harness import run_workload
+from repro.faults import FaultPlan
+from repro.obs import Telemetry
+from repro.sim.config import DEFAULT_CONFIG, NetworkModel
+from repro.workloads import SUITE_ORDER, build_workload
+
+SCALE = 0.15
+
+ENGINES = {
+    "fast": DEFAULT_CONFIG,
+    "reference": DEFAULT_CONFIG.with_updates(
+        network_model=NetworkModel.WORMHOLE
+    ),
+}
+
+
+def _stats_dict(result):
+    d = dataclasses.asdict(result.stats)
+    d.pop("manifest", None)
+    return d
+
+
+@pytest.mark.parametrize("engine", sorted(ENGINES))
+@pytest.mark.parametrize("app", SUITE_ORDER)
+def test_zero_fault_identity_all_workloads(engine, app):
+    config = ENGINES[engine]
+    workload = build_workload(app)
+    baseline = run_workload(workload, config, mapping="la", scale=SCALE)
+    with_none = run_workload(
+        workload, config, mapping="la", scale=SCALE,
+        fault_plan=None, fault_aware=True,
+    )
+    with_empty = run_workload(
+        workload, config, mapping="la", scale=SCALE,
+        fault_plan=FaultPlan.empty(), fault_aware=True,
+    )
+    # fault_aware is vacuous with no plan; it must not perturb anything.
+    oblivious_empty = run_workload(
+        workload, config, mapping="la", scale=SCALE,
+        fault_plan=FaultPlan.empty(), fault_aware=False,
+    )
+    reference = _stats_dict(baseline)
+    assert _stats_dict(with_none) == reference
+    assert _stats_dict(with_empty) == reference
+    assert _stats_dict(oblivious_empty) == reference
+
+
+def test_zero_fault_observability_identity():
+    """Spatial accumulators, events and manifests match, not just stats."""
+    results = {}
+    for label, plan in (("absent", "absent"), ("none", None),
+                        ("empty", FaultPlan.empty())):
+        telemetry = Telemetry()
+        kwargs = {} if plan == "absent" else {"fault_plan": plan}
+        results[label] = (
+            run_workload(
+                build_workload("mxm"), DEFAULT_CONFIG, mapping="la",
+                scale=SCALE, telemetry=telemetry, **kwargs,
+            ),
+            telemetry,
+        )
+    _, ref_tele = results["absent"]
+    ref_spatial = ref_tele.spatial.as_dict()
+    ref_events = ref_tele.events.events
+    assert ref_events, "decision events expected at default level"
+    for label in ("none", "empty"):
+        _, tele = results[label]
+        assert tele.spatial.as_dict() == ref_spatial, label
+        assert tele.events.events == ref_events, label
+        # No fault.inject events may appear in a zero-fault run.
+        assert not [
+            e for e in tele.events.events if e["kind"] == "fault.inject"
+        ]
+    # The run manifest must not even mention the faults layer.
+    manifest = results["none"][0].stats.manifest
+    assert manifest is not None
+    assert "faults" not in manifest
+    assert "fault_plan_hash" not in manifest
+
+
+def test_zero_fault_sweep_payloads_and_golden_table():
+    """Sweep payloads and the rendered table hash are plan-independent."""
+    apps = ("mxm", "nbf")
+    plain = run_sweep(
+        sweep_matrix(apps, DEFAULT_CONFIG, mappings=("la",), scales=(SCALE,)),
+        workers=1,
+    )
+    with_empty = run_sweep(
+        sweep_matrix(
+            apps, DEFAULT_CONFIG, mappings=("la",), scales=(SCALE,),
+            faults=(), fault_aware=False,
+        ),
+        workers=1,
+    )
+    assert with_empty.payloads() == plain.payloads()
+    digest = hashlib.sha256(sweep_table(plain).encode()).hexdigest()
+    assert hashlib.sha256(
+        sweep_table(with_empty).encode()
+    ).hexdigest() == digest

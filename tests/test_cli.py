@@ -178,3 +178,74 @@ class TestAnalyzeCommand:
         assert main(["run", "mxm", "--scale", "0.25", "--gate"]) == 0
         out = capsys.readouterr().out
         assert "execution cycles" in out
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults", "list"])
+        assert args.action == "list"
+        assert args.apps == []
+        assert args.fault == []
+        assert args.mapping == "la"
+        assert args.scale == 0.2
+        assert not args.no_fault_aware
+
+    def test_run_accepts_fault_flags(self):
+        args = build_parser().parse_args([
+            "run", "mxm", "--fault", "bank:1:offline",
+            "--fault", "mc:0:throttle=0.5", "--no-fault-aware",
+        ])
+        assert args.fault == ["bank:1:offline", "mc:0:throttle=0.5"]
+        assert args.no_fault_aware
+
+    def test_heatmap_accepts_fault_flag(self):
+        args = build_parser().parse_args([
+            "heatmap", "mxm", "--fault", "link:0,0->1,0:down"
+        ])
+        assert args.fault == ["link:0,0->1,0:down"]
+
+    def test_list_shows_grammar_without_plan(self, capsys):
+        assert main(["faults", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "link:X1,Y1->X2,Y2:down" in out
+
+    def test_list_renders_overlay(self, capsys):
+        assert main([
+            "faults", "list", "--fault", "bank:12:offline",
+            "--fault", "mc:1:throttle=0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "plan hash:" in out
+        assert "legend:" in out
+        assert "bank:12:offline" in out
+
+    def test_invalid_spec_exits_2(self, capsys):
+        assert main(["faults", "list", "--fault", "gpu:0:offline"]) == 2
+        assert "invalid fault plan" in capsys.readouterr().err
+
+    def test_inject_runs_and_reports(self, capsys):
+        assert main([
+            "faults", "inject", "mxm", "--scale", "0.2",
+            "--fault", "mc:1:throttle=0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fault injection" in out
+        assert "net latency" in out
+
+    def test_inject_illegal_plan_rejected_by_gate(self, capsys):
+        code = main([
+            "faults", "inject", "mxm", "--fault", "bank:99:offline",
+        ])
+        assert code != 0
+        captured = capsys.readouterr()
+        assert "FLT001" in captured.out
+        assert "rejected" in captured.err
+
+    def test_run_with_fault_prints_plan(self, capsys):
+        assert main([
+            "run", "mxm", "--scale", "0.25", "--mapping", "la",
+            "--fault", "mc:1:throttle=0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "faults:" in out
+        assert "execution cycles" in out
