@@ -3,8 +3,11 @@
 Measures simulated iterations per wall-clock second on an L1-hit-heavy
 regular workload (each core's footprint fits its 2 KB L1, so ~99% of
 accesses take the batched hit path) and asserts the fast engine delivers
-at least 3x the reference throughput.  The measured point is appended to
-``BENCH_engine.json`` at the repository root as a perf trajectory record.
+at least 3x the reference throughput.  The measured point is appended,
+wrapped in the schema-versioned bench envelope (git sha, host, python),
+to ``BENCH_engine.json`` at the repository root and to
+``benchmarks/history/engine.jsonl`` -- the trajectory that
+``repro bench history|check`` watches.
 
 Run with::
 
@@ -13,13 +16,12 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import platform
 import time
 from pathlib import Path
 
 from repro.baselines.default import default_schedules, partition_all_nests
-from repro.obs import config_hash, package_version
+from repro.obs import append_bench, config_hash, package_version
 from repro.ir.arrays import declare
 from repro.ir.builder import nest_builder
 from repro.ir.loops import Program
@@ -110,11 +112,11 @@ def test_fast_engine_speedup():
             "fast_seconds": round(fast_seconds, 4),
         },
     }
-    history = []
-    if BENCH_PATH.exists():
-        history = json.loads(BENCH_PATH.read_text())
-    history.append(record)
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench(
+        BENCH_PATH,
+        record,
+        metrics={"speedup": {"value": speedup, "direction": "higher"}},
+    )
 
     print(
         f"\nengine throughput: reference {ref_ips:,.0f} it/s, "

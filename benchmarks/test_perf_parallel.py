@@ -11,8 +11,9 @@ three produce identical payloads, then asserts:
   so the test SKIPS (never silently passes) after recording the
   measurement with a ``skipped_reason`` in the trajectory record.
 
-The measured point is appended to ``BENCH_parallel.json`` at the
-repository root as a perf trajectory record.
+The measured point is appended, in the schema-versioned bench envelope,
+to ``BENCH_parallel.json`` at the repository root and to
+``benchmarks/history/parallel.jsonl`` (``repro bench history|check``).
 
 Run with::
 
@@ -23,7 +24,6 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import os
 import platform
 import tempfile
@@ -32,7 +32,7 @@ from pathlib import Path
 import pytest
 
 from repro.exec import ResultCache, run_sweep, sweep_matrix
-from repro.obs import config_hash, package_version
+from repro.obs import append_bench, config_hash, package_version
 from repro.sim.config import DEFAULT_CONFIG
 from repro.workloads import SUITE_ORDER
 
@@ -95,11 +95,16 @@ def test_parallel_sweep_and_cache_replay_speed():
     }
     if skipped_reason is not None:
         record["skipped_reason"] = skipped_reason
-    history = []
-    if BENCH_PATH.exists():
-        history = json.loads(BENCH_PATH.read_text())
-    history.append(record)
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    metrics = {
+        "warm_fraction_of_serial": {
+            "value": warm_fraction, "direction": "lower",
+        },
+    }
+    if skipped_reason is None:
+        # Only record the speedup when it was actually asserted: a
+        # 1-CPU box's "speedup" is noise, not a trajectory point.
+        metrics["speedup"] = {"value": speedup, "direction": "higher"}
+    append_bench(BENCH_PATH, record, metrics=metrics)
 
     print(
         f"\nsweep throughput: serial {serial.wall_seconds:.2f}s, "

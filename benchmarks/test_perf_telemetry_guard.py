@@ -10,8 +10,9 @@ L1-hit-heavy workload the engine throughput benchmark uses, A/B-ing
 
 and asserts the disabled hub costs less than 2% wall time.  Both arms run
 in the same process interleaved best-of-N, so the comparison is stable on
-shared CI machines; the measured point is appended to
-``BENCH_telemetry.json``.
+shared CI machines; the measured point is appended, in the
+schema-versioned bench envelope, to ``BENCH_telemetry.json`` and to
+``benchmarks/history/telemetry.jsonl`` (``repro bench history|check``).
 
 Run with::
 
@@ -20,12 +21,11 @@ Run with::
 
 from __future__ import annotations
 
-import json
 import platform
 import time
 from pathlib import Path
 
-from repro.obs import Telemetry, config_hash, package_version
+from repro.obs import Telemetry, append_bench, config_hash, package_version
 from repro.sim.config import DEFAULT_CONFIG
 from repro.sim.engine import ExecutionEngine, TripPlan
 from repro.sim.machine import Manycore
@@ -79,11 +79,13 @@ def test_disabled_telemetry_overhead():
             "platform": platform.platform(),
         },
     }
-    history = []
-    if BENCH_PATH.exists():
-        history = json.loads(BENCH_PATH.read_text())
-    history.append(record)
-    BENCH_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    append_bench(
+        BENCH_PATH,
+        record,
+        metrics={
+            "overhead_fraction": {"value": overhead, "direction": "lower"},
+        },
+    )
 
     print(
         f"\ndisabled-telemetry overhead: {100 * overhead:+.2f}% "

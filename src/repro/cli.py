@@ -7,10 +7,21 @@ Commands:
 * ``run [APP ...] [--mapping M] [--workers N] [--cache-dir D] [--resume]``
                                     -- simulate one or many apps; with
                                        ``--workers``/``--cache-dir`` the
-                                       sweep runs sharded + memoized
+                                       sweep runs sharded + memoized;
+                                       ``--trace [F]`` also records a span
+                                       trace of the whole sweep
+* ``trace [APP ...] --out F``       -- traced sweep -> merged Chrome/
+                                       Perfetto Trace Event JSON
+* ``metrics APP [...]``             -- Prometheus-style text exposition of
+                                       one instrumented run
+* ``bench {history,check}``         -- perf trajectory: list recorded
+                                       BENCH points / flag regressions
 * ``cache {stats,clear}``           -- inspect / empty a result cache
 * ``compare APP [...]``             -- default vs location-aware side by side
-* ``profile APP [...]``             -- phase breakdown + manifest for one run
+* ``profile APP [...]``             -- phase breakdown + manifest for one
+                                       run (``--json`` machine-readable,
+                                       ``--workers N`` profiles a traced
+                                       sweep incl. worker-side phases)
 * ``heatmap APP [--metric M] [...]``-- spatial traffic over the mesh
 * ``faults ACTION [APP ...]``       -- fault injection: validate plans,
                                        run degraded machines, A/B the
@@ -27,8 +38,15 @@ Examples::
     python -m repro run nbf --mapping la --llc private
     python -m repro run --suite --workers 4 --cache-dir .repro-cache
     python -m repro run mxm nbf --workers 2 --resume --json sweep.json
+    python -m repro run --suite --workers 4 --trace run.trace.json
+    python -m repro trace mxm nbf --workers 2 --out sweep.trace.json
+    python -m repro metrics mxm --mapping la
+    python -m repro bench history
+    python -m repro bench check --json bench-check.json
     python -m repro cache stats --cache-dir .repro-cache
     python -m repro profile mxm --mapping la --events /tmp/mxm.jsonl
+    python -m repro profile mxm --json
+    python -m repro profile mxm --workers 2
     python -m repro heatmap mxm --metric mc --mapping la
     python -m repro figure fig09 --apps mxm,nbf --scale 0.5
 """
@@ -198,7 +216,8 @@ def cmd_run(args) -> int:
     fault_plan = _fault_plan(args)
     fault_aware = not getattr(args, "no_fault_aware", False)
 
-    if len(apps) == 1 and args.workers == 1 and cache_dir is None:
+    if (len(apps) == 1 and args.workers == 1 and cache_dir is None
+            and not args.trace):
         # The classic single-run path, unchanged.
         workload = build_workload(apps[0])
         result = run_workload(
@@ -223,7 +242,7 @@ def cmd_run(args) -> int:
         return 0
 
     # Sweep path: shard the (app x mapping) cells over the executor.
-    from repro.exec import run_sweep, sweep_matrix, sweep_table
+    from repro.exec import run_sweep, sweep_matrix, sweep_table, sweep_tracer
 
     if args.gate:
         from repro.analyze import gate as analyze_gate
@@ -241,7 +260,10 @@ def cmd_run(args) -> int:
         apps, config, mappings=(args.mapping,), scales=(args.scale,),
         **common,
     )
-    result = run_sweep(cells, workers=args.workers, cache_dir=cache_dir)
+    tracer = sweep_tracer(cells) if args.trace else None
+    result = run_sweep(
+        cells, workers=args.workers, cache_dir=cache_dir, tracer=tracer,
+    )
     print(sweep_table(
         result,
         title=(f"sweep [{args.mapping}, {args.llc} LLC, "
@@ -259,6 +281,11 @@ def cmd_run(args) -> int:
     if summary["retries"] or summary["fallbacks"]:
         print(f"recovered: {summary['retries']} retri(es), "
               f"{summary['fallbacks']} in-process fallback(s)")
+    if tracer is not None:
+        tracer.save(args.trace)
+        pids = tracer.worker_pids()
+        print(f"trace: {len(tracer.spans)} span(s), "
+              f"{len(pids)} worker pid(s) -> {args.trace}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
@@ -333,8 +360,83 @@ def _run_with_telemetry(args, level: str = "off"):
     return workload, config, telemetry, result
 
 
+def _profile_sweep(args) -> int:
+    """``profile --workers N``: a traced one-app sweep, incl. worker time.
+
+    The coordinator's own timers cannot see inside pool workers; the
+    tracer threads each worker's phase records back through the result
+    envelope, and ``SweepResult.merged_phases`` sums them per phase path.
+    """
+    from repro.exec import run_sweep, sweep_matrix, sweep_tracer
+
+    cells = sweep_matrix(
+        [args.app], _config(args), mappings=(args.mapping,),
+        scales=(args.scale,),
+    )
+    tracer = sweep_tracer(cells)
+    result = run_sweep(cells, workers=args.workers, tracer=tracer)
+    merged = result.merged_phases()
+    pids = result.worker_pids()
+    if args.json:
+        payload = {
+            "schema": "repro.profile/1",
+            "app": args.app,
+            "mapping": args.mapping,
+            "llc": args.llc,
+            "scale": args.scale,
+            "workers": args.workers,
+            "trace_id": tracer.context.trace_id,
+            "worker_pids": pids,
+            "phases": merged,
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+    print(f"{args.app} [{args.mapping}, {args.llc} LLC, "
+          f"scale {args.scale}, workers {args.workers}]")
+    print()
+    print_table(
+        ["phase (worker-side)", "calls", "seconds"],
+        [[path, rec["calls"], rec["seconds"]]
+         for path, rec in merged.items()],
+        title="merged worker phase profile",
+        float_fmt="{:.4f}",
+    )
+    print(f"\nworker pids: "
+          f"{', '.join(str(p) for p in pids) or '(in-process)'}")
+    return 0
+
+
 def cmd_profile(args) -> int:
+    if args.workers > 1:
+        return _profile_sweep(args)
     _, _, telemetry, result = _run_with_telemetry(args, level=args.level)
+    if args.events:
+        telemetry.events.save(args.events)
+    if args.json:
+        snap = telemetry.snapshot()
+        payload = {
+            "schema": "repro.profile/1",
+            "app": args.app,
+            "mapping": args.mapping,
+            "llc": args.llc,
+            "scale": args.scale,
+            "workers": 1,
+            "counters": snap["counters"],
+            "histograms": snap["histograms"],
+            "phases": snap["phases"],
+            "manifest": result.stats.manifest,
+            "stats": {
+                "execution_cycles": result.stats.execution_cycles,
+                "avg_network_latency": result.stats.avg_network_latency,
+                "avg_hops": result.stats.avg_hops,
+                "l1_hit_rate": result.stats.l1_hit_rate,
+                "llc_miss_rate": result.stats.llc_miss_rate,
+            },
+        }
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
     print(f"{args.app} [{args.mapping}, {args.llc} LLC, scale {args.scale}]")
     print()
     print(render_phase_table(telemetry))
@@ -343,8 +445,130 @@ def cmd_profile(args) -> int:
     print()
     print(render_manifest(result.stats.manifest))
     if args.events:
-        telemetry.events.save(args.events)
         print(f"\n{len(telemetry.events.events)} events -> {args.events}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """One traced sweep exported as Chrome/Perfetto Trace Event JSON."""
+    from repro.exec import run_sweep, sweep_matrix, sweep_tracer
+    from repro.obs.tracing import validate_trace_events
+
+    apps = list(args.apps)
+    if args.suite:
+        apps = list(SUITE_ORDER)
+    if not apps:
+        print("no applications given (name apps or pass --suite)",
+              file=sys.stderr)
+        return 2
+    cells = sweep_matrix(
+        apps, _config(args), mappings=(args.mapping,), scales=(args.scale,),
+    )
+    tracer = sweep_tracer(cells)
+    result = run_sweep(
+        cells, workers=args.workers, cache_dir=_resolve_cache_dir(args),
+        tracer=tracer,
+    )
+    tracer.save(args.out)
+    violations = validate_trace_events(json.loads(tracer.to_trace_json()))
+    pids = tracer.worker_pids()
+    summary = result.summary()
+    print(f"trace id: {tracer.context.trace_id}")
+    print(f"  cells:       {len(cells)}")
+    print(f"  spans:       {len(tracer.spans)}")
+    print(f"  worker pids: {len(pids)}"
+          + (f" ({', '.join(str(p) for p in pids)})" if pids else ""))
+    print(f"  wall time:   {summary['wall_seconds']:.2f}s")
+    print("  schema:      "
+          + ("OK" if not violations else "; ".join(violations)))
+    print(f"-> {args.out}  (load in chrome://tracing or ui.perfetto.dev)")
+    return 0 if not violations else 1
+
+
+def cmd_metrics(args) -> int:
+    """Prometheus-style text exposition of one instrumented run."""
+    from repro.obs.metrics import prometheus_text
+
+    _, _, telemetry, _ = _run_with_telemetry(args, level="decisions")
+    text = prometheus_text(
+        telemetry, labels={"app": args.app, "mapping": args.mapping},
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"metrics -> {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """The perf-regression watch over ``benchmarks/history/*.jsonl``."""
+    from repro.obs.bench import check_history, load_history
+
+    history_dir = args.dir or None
+    if args.action == "history":
+        series = load_history(history_dir)
+        if not series:
+            print("no recorded bench history (run the perf harnesses: "
+                  "python -m pytest benchmarks/)")
+            return 0
+        rows = []
+        for name, entries in sorted(series.items()):
+            last = entries[-1]
+            metrics = ", ".join(
+                f"{metric}={spec['value']:.4g}"
+                for metric, spec in sorted((last.get("metrics") or {}).items())
+            )
+            rows.append([
+                name, len(entries), str(last.get("git_sha", "unknown"))[:12],
+                metrics or "-",
+            ])
+        print_table(
+            ["series", "entries", "latest sha", "latest metrics"], rows,
+            title="bench trajectory",
+        )
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                json.dump(series, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"history JSON -> {args.json}")
+        return 0
+
+    report = check_history(history_dir, tolerance=args.tolerance)
+    rows = []
+    for name, series_report in sorted(report["series"].items()):
+        for metric, verdict in sorted(series_report.items()):
+            if metric == "entries":
+                continue
+            rows.append([
+                name, metric, verdict["points"],
+                verdict["baseline"] if verdict["baseline"] is not None
+                else "-",
+                verdict["latest"],
+                "REGRESSED" if verdict["regressed"] else "ok",
+            ])
+    if rows:
+        print_table(
+            ["series", "metric", "points", "baseline", "latest", "verdict"],
+            rows,
+            title=f"bench check (tolerance {report['tolerance']:.0%})",
+            float_fmt="{:.4f}",
+        )
+    else:
+        print("no recorded bench history to check")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"check report JSON -> {args.json}")
+    if not report["ok"]:
+        for regression in report["regressions"]:
+            print(f"REGRESSION: {regression['series']}.{regression['metric']} "
+                  f"{regression['baseline']} -> {regression['latest']} "
+                  f"({100 * regression['delta_fraction']:+.1f}%)",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -625,11 +849,22 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--json", default="",
                            help="write the sweep summary (cache hits, "
                                 "wall time) to this JSON file")
+            p.add_argument("--trace", nargs="?", const="run.trace.json",
+                           default="", metavar="FILE",
+                           help="record a span trace of the sweep to this "
+                                "Trace Event JSON file (default: "
+                                "run.trace.json)")
         if name == "profile":
             p.add_argument("--level", default="decisions", choices=LEVELS,
                            help="event stream verbosity")
             p.add_argument("--events", default="",
                            help="write the event stream to this JSONL file")
+            p.add_argument("--json", action="store_true",
+                           help="machine-readable profile on stdout "
+                                "(stable key order) instead of the tables")
+            p.add_argument("--workers", type=int, default=1,
+                           help="profile a traced sweep of this app over N "
+                                "pool workers (shows worker-side phases)")
         if name == "heatmap":
             p.add_argument("--metric", default="mc",
                            choices=HEATMAP_METRICS + ("all",))
@@ -644,6 +879,56 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--no-fault-aware", action="store_true",
                            help="keep the mapping oblivious to injected "
                                 "faults (A/B baseline)")
+
+    p = sub.add_parser(
+        "trace",
+        help="traced sweep -> merged Chrome/Perfetto Trace Event JSON",
+    )
+    p.add_argument("apps", nargs="*", choices=[[]] + list(SUITE_ORDER),
+                   help="applications to trace (or pass --suite)")
+    p.add_argument("--suite", action="store_true",
+                   help="trace the whole 21-benchmark suite")
+    p.add_argument("--mapping", default="default", choices=MAPPINGS)
+    p.add_argument("--llc", default="shared", choices=("shared", "private"))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="process-pool width (default 1 = serial)")
+    p.add_argument("--cache-dir", default="",
+                   help="memoize cells in this cache directory "
+                        "(cache hits appear as instant spans)")
+    p.add_argument("--resume", action="store_true",
+                   help="reuse completed cells from the cache "
+                        f"(default dir: {DEFAULT_CACHE_DIR})")
+    p.add_argument("--out", default="run.trace.json",
+                   help="output Trace Event JSON file "
+                        "(default: run.trace.json)")
+
+    p = sub.add_parser(
+        "metrics",
+        help="Prometheus-style text metrics of one instrumented run",
+    )
+    p.add_argument("app", choices=SUITE_ORDER)
+    p.add_argument("--mapping", default="la", choices=MAPPINGS)
+    p.add_argument("--llc", default="shared", choices=("shared", "private"))
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", default="",
+                   help="write the exposition to this file instead of "
+                        "stdout")
+
+    p = sub.add_parser(
+        "bench",
+        help="perf trajectory: list recorded BENCH points, flag regressions",
+    )
+    p.add_argument("action", choices=("history", "check"),
+                   help="history: list the recorded trajectory; check: "
+                        "flag latest-vs-trajectory regressions")
+    p.add_argument("--dir", default="",
+                   help="history directory (default: benchmarks/history)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="noise band for 'check' (default: 0.10 = 10%%)")
+    p.add_argument("--json", default="",
+                   help="also write the machine-readable report to this "
+                        "file")
 
     p = sub.add_parser("cache", help="inspect or clear a sweep result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -686,6 +971,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "analyze": cmd_analyze,
         "run": cmd_run,
+        "trace": cmd_trace,
+        "metrics": cmd_metrics,
+        "bench": cmd_bench,
         "cache": cmd_cache,
         "compare": cmd_compare,
         "profile": cmd_profile,

@@ -27,8 +27,10 @@ from .executor import (
     SweepError,
     SweepResult,
     execute_cell,
+    execute_cell_traced,
     run_sweep,
     sweep_table,
+    sweep_tracer,
 )
 
 __all__ = [
@@ -40,8 +42,10 @@ __all__ = [
     "SweepError",
     "SweepResult",
     "execute_cell",
+    "execute_cell_traced",
     "resolve_workload",
     "run_sweep",
     "sweep_matrix",
     "sweep_table",
+    "sweep_tracer",
 ]

@@ -30,6 +30,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import PIPELINE_VERSION
 from repro.obs.manifest import _normalize, sweep_cache_key
+from repro.obs.tracing import TraceContext
 from repro.sim.config import SystemConfig
 from repro.workloads import build_workload
 from repro.workloads.base import Workload
@@ -90,6 +91,11 @@ class SweepCell:
     workload_args: KWPairs = ()
     faults: Tuple[str, ...] = ()
     fault_aware: bool = True
+    trace: Optional[TraceContext] = None
+    """Span-tracing context the coordinator stamps at submit time.  NOT
+    part of the cell's identity, cache key, or derived seed: tracing is
+    pure observation, and a traced cell must replay an untraced cell's
+    cached payload (and vice versa) byte-identically."""
 
     def __post_init__(self) -> None:
         object.__setattr__(

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -38,10 +39,12 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     wait,
 )
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs import EventStream, Telemetry
+from repro.obs.tracing import TraceContext, Tracer, derive_trace_id
 
 from .cache import ResultCache
 from .cells import SweepCell, resolve_workload
@@ -57,11 +60,19 @@ class SweepError(RuntimeError):
 # ----------------------------------------------------------------------
 # Cell execution (runs in workers, the coordinator, and the serial path)
 # ----------------------------------------------------------------------
-def execute_cell(cell: SweepCell) -> Dict[str, Any]:
+def execute_cell(
+    cell: SweepCell, telemetry: Optional[Telemetry] = None
+) -> Dict[str, Any]:
     """Run one cell end to end; returns its JSON-normalized payload.
 
     Must stay a module-level function: it is the picklable entry point
     ``ProcessPoolExecutor`` ships to workers.
+
+    ``telemetry`` optionally attaches an external hub (the traced
+    wrapper's, carrying a span tracer).  The payload is a function of
+    the cell alone: its ``obs`` section is gated on ``cell.collect_obs``,
+    never on whether a hub happened to be attached, so traced and
+    untraced executions of the same cell stay ``==``.
     """
     seed = cell.effective_seed()
     if cell.kind == "multiprog":
@@ -85,11 +96,8 @@ def execute_cell(cell: SweepCell) -> Dict[str, Any]:
         from repro.experiments.harness import run_workload
 
         workload = resolve_workload(cell.workload, dict(cell.workload_args))
-        telemetry = (
-            Telemetry(events=EventStream(level="off"))
-            if cell.collect_obs
-            else None
-        )
+        if telemetry is None and cell.collect_obs:
+            telemetry = Telemetry(events=EventStream(level="off"))
         fault_plan = None
         if cell.faults:
             from repro.faults import FaultPlan
@@ -113,7 +121,7 @@ def execute_cell(cell: SweepCell) -> Dict[str, Any]:
             "stats": dataclasses.asdict(result.stats),
             "moved_fraction": result.moved_fraction,
         }
-        if telemetry is not None:
+        if cell.collect_obs and telemetry is not None:
             payload["obs"] = {
                 "spatial": (
                     telemetry.spatial.as_dict()
@@ -131,6 +139,58 @@ def execute_cell(cell: SweepCell) -> Dict[str, Any]:
     return json.loads(json.dumps(payload, sort_keys=True))
 
 
+def execute_cell_traced(cell: SweepCell) -> Dict[str, Any]:
+    """Traced twin of :func:`execute_cell`: payload + span/phase sidecar.
+
+    Re-hydrates the :class:`TraceContext` the coordinator stamped on the
+    cell into a fresh in-process :class:`Tracer` (span ids stay
+    deterministic: they derive from the trace id + the cell key scope,
+    never from this process's pid or clock), records the queue-wait and
+    attempt spans, attaches a telemetry hub so the harness's phase
+    timers become child spans and mapper/fault decision events become
+    instants, and returns everything in an envelope::
+
+        {"payload": <execute_cell payload>, "pid": ..., "spans": [...],
+         "phases": {path: {"seconds", "calls"}}}
+
+    The payload member is byte-identical to an untraced execution; the
+    sidecar members never enter the result cache.
+    """
+    ctx = cell.trace
+    if ctx is None:
+        key = cell.key()
+        ctx = TraceContext(trace_id=derive_trace_id([key]), scope=key)
+    tracer = Tracer(ctx)
+    if ctx.submitted_unix is not None:
+        tracer.interval(
+            "queue-wait", ctx.submitted_unix, time.time(), cat="executor"
+        )
+    telemetry = Telemetry(events=EventStream(level="decisions"))
+    telemetry.attach_tracer(tracer)
+    with tracer.span("attempt", cat="executor", cell=cell.label()):
+        payload = execute_cell(cell, telemetry=telemetry)
+    return {
+        "payload": payload,
+        "pid": os.getpid(),
+        "spans": tracer.to_dicts(),
+        "phases": {
+            path: {"seconds": round(rec.seconds, 6), "calls": rec.calls}
+            for path, rec in sorted(telemetry.phases.items())
+        },
+    }
+
+
+def sweep_tracer(cells: Sequence[SweepCell]) -> Tracer:
+    """A coordinator tracer whose trace id derives from the sweep content.
+
+    The id digests the sorted cell keys -- the same material the result
+    cache and the per-cell seeds derive from -- so rerunning the same
+    sweep reproduces every span id, however it is sharded.
+    """
+    keys = sorted({cell.key() for cell in cells})
+    return Tracer(TraceContext(trace_id=derive_trace_id(keys)))
+
+
 # ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
@@ -145,6 +205,8 @@ class CellResult:
     attempts: int = 1
     in_process: bool = False
     seconds: float = 0.0
+    pid: Optional[int] = None
+    phases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
 
 @dataclass
@@ -165,6 +227,40 @@ class SweepResult:
     def payloads(self) -> Dict[str, Dict[str, Any]]:
         """key -> payload; the equivalence suite's comparison object."""
         return {r.key: r.payload for r in self.results}
+
+    def merged_phases(self) -> Dict[str, Dict[str, Any]]:
+        """Worker phase timers summed across cells (traced sweeps only).
+
+        This is the sweep-wide answer to ``repro profile``: where the
+        *workers'* wall time went (setup/compile/sim.cold/...), which the
+        coordinator's own timers cannot see.  Empty unless the sweep ran
+        with a tracer.
+        """
+        merged: Dict[str, Dict[str, Any]] = {}
+        seen = set()
+        for result in self.results:
+            if result.key in seen:
+                continue  # duplicate cells share one execution
+            seen.add(result.key)
+            for path, record in result.phases.items():
+                slot = merged.setdefault(
+                    path, {"seconds": 0.0, "calls": 0}
+                )
+                slot["seconds"] += float(record.get("seconds", 0.0))
+                slot["calls"] += int(record.get("calls", 0))
+        return {
+            path: {
+                "seconds": round(slot["seconds"], 6),
+                "calls": slot["calls"],
+            }
+            for path, slot in sorted(merged.items())
+        }
+
+    def worker_pids(self) -> List[int]:
+        """Distinct pids that executed cells (traced sweeps only)."""
+        return sorted({
+            r.pid for r in self.results if r.pid is not None
+        })
 
     @property
     def hit_rate(self) -> float:
@@ -270,6 +366,7 @@ def run_sweep(
     backoff_base: float = DEFAULT_BACKOFF_BASE,
     cell_timeout: Optional[float] = None,
     events: Optional[EventStream] = None,
+    tracer: Optional[Tracer] = None,
 ) -> SweepResult:
     """Execute a sweep's cells, fanned out over ``workers`` processes.
 
@@ -285,6 +382,13 @@ def run_sweep(
     * ``events`` -- an :class:`EventStream` receiving ``cache.hit`` /
       ``cache.miss`` / ``cache.store`` / ``cell.retry`` /
       ``cell.fallback`` / ``sweep.*`` decision events.
+    * ``tracer`` -- a :class:`repro.obs.Tracer`: executor lifecycle spans
+      (submit / queue-wait / attempt / retry-backoff / pool-rebuild /
+      cache-hit) are recorded in the coordinator, every cell executes
+      through the traced wrapper in its worker, and the workers' spans
+      and phase timers are merged back into the tracer and the
+      :class:`CellResult`\\ s.  ``None`` (the default) keeps every code
+      path byte-identical to the untraced executor.
     """
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
@@ -292,6 +396,8 @@ def run_sweep(
         raise ValueError("max_retries must be >= 0")
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
+    if tracer is not None and not tracer.enabled:
+        tracer = None
 
     def emit(kind: str, **fields: Any) -> None:
         if events is not None:
@@ -311,95 +417,162 @@ def run_sweep(
     done_by_key: Dict[str, CellResult] = {}
     result = SweepResult(results=[], workers=workers)
 
-    # -- resolve cache hits and dedupe ---------------------------------
-    pending: List[_Pending] = []
-    pending_keys: set = set()
-    for index, (cell, key) in enumerate(zip(cells, keys)):
-        if key in done_by_key or key in pending_keys:
-            continue  # duplicate within this sweep: computed once
-        cached = cache.get(key) if cache is not None else None
-        if cached is not None:
-            result.cache_hits += 1
-            emit("cache.hit", key=key, cell=cell.label())
-            done_by_key[key] = CellResult(
-                cell=cell, key=key, payload=cached, from_cache=True
+    root_cm = (
+        tracer.span(
+            "sweep", cat="executor", cells=len(cells), workers=workers
+        )
+        if tracer is not None
+        else nullcontext()
+    )
+    with root_cm as root_span:
+
+        def traced(item: _Pending, submitted: bool) -> SweepCell:
+            """The cell with this attempt's trace context stamped on."""
+            ctx = TraceContext(
+                trace_id=tracer.context.trace_id,
+                scope=item.key,
+                parent_span_id=(
+                    root_span.span_id if root_span is not None else None
+                ),
+                submitted_unix=time.time() if submitted else None,
             )
-            continue
-        if cache is not None:
-            result.cache_misses += 1
-            emit("cache.miss", key=key, cell=cell.label())
-        pending.append(_Pending(index=index, cell=cell, key=key))
-        pending_keys.add(key)
+            return dataclasses.replace(item.cell, trace=ctx)
 
-    def finish(item: _Pending, payload: Dict[str, Any], attempts: int,
-               in_process: bool, seconds: float) -> None:
-        if cache is not None:
-            cache.put(item.key, payload)
-            emit("cache.store", key=item.key, cell=item.cell.label())
-        done_by_key[item.key] = CellResult(
-            cell=item.cell,
-            key=item.key,
-            payload=payload,
-            attempts=attempts,
-            in_process=in_process,
-            seconds=seconds,
-        )
-
-    def run_inline(item: _Pending, in_process: bool) -> None:
-        """Coordinator-side execution with the same retry contract."""
-        t0 = time.perf_counter()
-        while True:
-            try:
-                payload = execute_cell(item.cell)
-            except Exception as exc:
-                item.failures += 1
-                if item.failures > max_retries:
-                    raise SweepError(
-                        f"cell {item.cell.label()} ({item.key}) failed "
-                        f"after {item.failures} attempts: {exc!r}"
-                    ) from exc
-                result.retries += 1
-                backoff = backoff_base * (2 ** (item.failures - 1))
-                emit(
-                    "cell.retry",
-                    key=item.key,
-                    cell=item.cell.label(),
-                    attempt=item.failures + 1,
-                    reason=type(exc).__name__,
+        # -- resolve cache hits and dedupe -----------------------------
+        pending: List[_Pending] = []
+        pending_keys: set = set()
+        for index, (cell, key) in enumerate(zip(cells, keys)):
+            if key in done_by_key or key in pending_keys:
+                continue  # duplicate within this sweep: computed once
+            cached = cache.get(key) if cache is not None else None
+            if cached is not None:
+                result.cache_hits += 1
+                emit("cache.hit", key=key, cell=cell.label())
+                if tracer is not None:
+                    tracer.instant(
+                        "cache-hit", cat="executor", scope=key,
+                        cell=cell.label(),
+                    )
+                done_by_key[key] = CellResult(
+                    cell=cell, key=key, payload=cached, from_cache=True
                 )
-                time.sleep(backoff)
-            else:
-                finish(
-                    item, payload, attempts=item.failures + 1,
-                    in_process=in_process,
-                    seconds=time.perf_counter() - t0,
-                )
-                return
+                continue
+            if cache is not None:
+                result.cache_misses += 1
+                emit("cache.miss", key=key, cell=cell.label())
+            pending.append(_Pending(index=index, cell=cell, key=key))
+            pending_keys.add(key)
 
-    if workers == 1:
-        for item in pending:
-            run_inline(item, in_process=False)
-    elif pending:
-        _run_pool(
-            pending,
-            workers=workers,
-            max_retries=max_retries,
-            backoff_base=backoff_base,
-            cell_timeout=cell_timeout,
-            finish=finish,
-            fallback=lambda item: (run_inline(item, in_process=True)),
-            emit=emit,
-            result=result,
-        )
+        def finish(item: _Pending, raw: Dict[str, Any], attempts: int,
+                   in_process: bool, seconds: float) -> None:
+            pid: Optional[int] = None
+            phases: Dict[str, Dict[str, Any]] = {}
+            payload = raw
+            if tracer is not None:
+                # Traced executions return an envelope; absorb the span
+                # and phase sidecar, cache only the payload.
+                payload = raw["payload"]
+                pid = raw.get("pid")
+                phases = raw.get("phases") or {}
+                tracer.add_spans(raw.get("spans") or ())
+            if cache is not None:
+                cache.put(item.key, payload)
+                emit("cache.store", key=item.key, cell=item.cell.label())
+            done_by_key[item.key] = CellResult(
+                cell=item.cell,
+                key=item.key,
+                payload=payload,
+                attempts=attempts,
+                in_process=in_process,
+                seconds=seconds,
+                pid=pid,
+                phases=phases,
+            )
 
-    # -- assemble in input order ---------------------------------------
-    result.results = [
-        dataclasses.replace(done_by_key[key], cell=cell)
-        for cell, key in zip(cells, keys)
-    ]
+        def run_inline(item: _Pending, in_process: bool) -> None:
+            """Coordinator-side execution with the same retry contract."""
+            t0 = time.perf_counter()
+            while True:
+                try:
+                    if tracer is not None:
+                        # Mirror the pool path's submit/queue-wait spans so a
+                        # serial sweep's span skeleton is identical to a
+                        # parallel one (queue-wait is just ~0s inline).
+                        tracer.instant(
+                            "submit", cat="executor", scope=item.key,
+                            cell=item.cell.label(),
+                            attempt=item.failures + 1,
+                        )
+                        raw: Dict[str, Any] = execute_cell_traced(
+                            traced(item, submitted=True)
+                        )
+                    else:
+                        raw = execute_cell(item.cell)
+                except Exception as exc:
+                    item.failures += 1
+                    if item.failures > max_retries:
+                        raise SweepError(
+                            f"cell {item.cell.label()} ({item.key}) failed "
+                            f"after {item.failures} attempts: {exc!r}"
+                        ) from exc
+                    result.retries += 1
+                    backoff = backoff_base * (2 ** (item.failures - 1))
+                    emit(
+                        "cell.retry",
+                        key=item.key,
+                        cell=item.cell.label(),
+                        attempt=item.failures + 1,
+                        reason=type(exc).__name__,
+                    )
+                    _backoff_sleep(tracer, item, backoff)
+                else:
+                    finish(
+                        item, raw, attempts=item.failures + 1,
+                        in_process=in_process,
+                        seconds=time.perf_counter() - t0,
+                    )
+                    return
+
+        if workers == 1:
+            for item in pending:
+                run_inline(item, in_process=False)
+        elif pending:
+            _run_pool(
+                pending,
+                workers=workers,
+                max_retries=max_retries,
+                backoff_base=backoff_base,
+                cell_timeout=cell_timeout,
+                finish=finish,
+                fallback=lambda item: (run_inline(item, in_process=True)),
+                emit=emit,
+                result=result,
+                tracer=tracer,
+                traced=traced,
+            )
+
+        # -- assemble in input order -----------------------------------
+        result.results = [
+            dataclasses.replace(done_by_key[key], cell=cell)
+            for cell, key in zip(cells, keys)
+        ]
     result.wall_seconds = time.perf_counter() - wall_start
     emit("sweep.end", **result.summary())
     return result
+
+
+def _backoff_sleep(
+    tracer: Optional[Tracer], item: _Pending, backoff: float
+) -> None:
+    """Exponential-backoff sleep, visible as a span when traced."""
+    if tracer is None:
+        time.sleep(backoff)
+        return
+    with tracer.span(
+        "retry-backoff", cat="executor", scope=item.key,
+        attempt=item.failures + 1, backoff_seconds=round(backoff, 4),
+    ):
+        time.sleep(backoff)
 
 
 def _run_pool(
@@ -412,6 +585,8 @@ def _run_pool(
     fallback,
     emit,
     result: SweepResult,
+    tracer: Optional[Tracer] = None,
+    traced=None,
 ) -> None:
     """The process-pool loop: submit, collect, retry, recycle, fall back."""
     ctx = _mp_context()
@@ -420,7 +595,28 @@ def _run_pool(
 
     def submit(item: _Pending) -> None:
         item.started = time.monotonic()
-        inflight[pool.submit(execute_cell, item.cell)] = item
+        if tracer is not None:
+            tracer.instant(
+                "submit", cat="executor", scope=item.key,
+                cell=item.cell.label(), attempt=item.failures + 1,
+            )
+            task = pool.submit(
+                execute_cell_traced, traced(item, submitted=True)
+            )
+        else:
+            task = pool.submit(execute_cell, item.cell)
+        inflight[task] = item
+
+    def rebuild_pool(reason: str) -> ProcessPoolExecutor:
+        """Kill and replace the pool, visible as a span when traced."""
+        span_cm = (
+            tracer.span("pool-rebuild", cat="executor", reason=reason)
+            if tracer is not None
+            else nullcontext()
+        )
+        with span_cm:
+            _kill_pool(pool)
+            return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
 
     def on_failure(item: _Pending, reason: str) -> List[_Pending]:
         """Count one failed attempt; returns the item if it may retry."""
@@ -434,7 +630,9 @@ def _run_pool(
                 attempt=item.failures + 1,
                 reason=reason,
             )
-            time.sleep(backoff_base * (2 ** (item.failures - 1)))
+            _backoff_sleep(
+                tracer, item, backoff_base * (2 ** (item.failures - 1))
+            )
             return [item]
         result.fallbacks += 1
         emit("cell.fallback", key=item.key, cell=item.cell.label(),
@@ -472,8 +670,7 @@ def _run_pool(
                 items = list(inflight.values())
                 hung = {id(inflight[f]) for f in overdue}
                 inflight.clear()
-                _kill_pool(pool)
-                pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+                pool = rebuild_pool("timeout")
                 for it in items:
                     if id(it) in hung:
                         for retry in on_failure(it, "timeout"):
@@ -512,8 +709,7 @@ def _run_pool(
                 # still completes (worst case in-process).
                 survivors = list(inflight.values())
                 inflight.clear()
-                _kill_pool(pool)
-                pool = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+                pool = rebuild_pool("pool broken")
                 for it in survivors:
                     to_resubmit.extend(on_failure(it, "pool broken"))
             for item in to_resubmit:

@@ -366,6 +366,13 @@ def run_workload(
             extra={
                 "trips": modeled_trips,
                 "cme_accuracy": cme_accuracy,
+                # Cross-reference into the span timeline: a traced run's
+                # manifest names the trace its spans belong to.
+                **(
+                    {"trace_id": telemetry.tracer.context.trace_id}
+                    if telemetry.tracer is not None
+                    else {}
+                ),
                 **(
                     {
                         "faults": list(fault_plan.to_specs()),

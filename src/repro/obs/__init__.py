@@ -16,6 +16,14 @@ Zero-dependency telemetry for the simulator and the mapping pipeline:
 See ``docs/observability.md`` for the full API and event schema.
 """
 
+from .bench import (
+    BENCH_SCHEMA,
+    append_bench,
+    bench_envelope,
+    check_history,
+    load_history,
+    read_bench,
+)
 from .events import LEVELS, EventStream
 from .manifest import (
     build_manifest,
@@ -24,20 +32,44 @@ from .manifest import (
     package_version,
     sweep_cache_key,
 )
+from .metrics import prometheus_text
 from .spatial import SpatialAccumulators
 from .telemetry import Histogram, PhaseRecord, Telemetry, profiled
+from .tracing import (
+    TRACE_SCHEMA,
+    Span,
+    TraceContext,
+    Tracer,
+    derive_trace_id,
+    span_id,
+    validate_trace_events,
+)
 
 __all__ = [
+    "BENCH_SCHEMA",
     "EventStream",
     "Histogram",
     "LEVELS",
     "PhaseRecord",
+    "Span",
     "SpatialAccumulators",
+    "TRACE_SCHEMA",
     "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "append_bench",
+    "bench_envelope",
     "build_manifest",
+    "check_history",
     "config_digest",
     "config_hash",
+    "derive_trace_id",
+    "load_history",
     "package_version",
+    "prometheus_text",
     "profiled",
+    "read_bench",
+    "span_id",
     "sweep_cache_key",
+    "validate_trace_events",
 ]

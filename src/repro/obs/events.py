@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, IO, List, Optional
+from typing import Callable, Dict, IO, List, Optional
 
 LEVELS = ("off", "decisions", "debug")
 _LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
@@ -40,6 +40,7 @@ class EventStream:
         self.level = level
         self.sample = sample
         self.sink = sink
+        self.tee: Optional[Callable[[dict], None]] = None
         self.events: List[dict] = []
         self._seq = 0
         self._kind_seq: Dict[str, int] = {}
@@ -74,6 +75,10 @@ class EventStream:
         self.events.append(event)
         if self.sink is not None:
             self.sink.write(json.dumps(event, sort_keys=True) + "\n")
+        if self.tee is not None:
+            # Mirror admitted events to an observer (e.g. the span tracer
+            # turning mapper/fault/engine decisions into instant spans).
+            self.tee(event)
         return True
 
     # -- queries ---------------------------------------------------------

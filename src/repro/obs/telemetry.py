@@ -159,7 +159,18 @@ class Telemetry:
         self.phases: Dict[str, PhaseRecord] = {}
         self.spatial: Optional[SpatialAccumulators] = None
         self.manifest: Optional[dict] = None
+        self.tracer = None  # Optional[repro.obs.tracing.Tracer]
         self._phase_stack: List[str] = []
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a :class:`repro.obs.tracing.Tracer`: phase timers become
+        interval spans and admitted decision events become instant child
+        spans (via the event stream's tee).  A disabled hub ignores the
+        attachment -- tracing piggybacks on telemetry's cost model."""
+        if not self.enabled or tracer is None or not tracer.enabled:
+            return
+        self.tracer = tracer
+        self.events.tee = tracer.event_tee()
 
     @classmethod
     def disabled(cls) -> "Telemetry":
@@ -208,11 +219,19 @@ class Telemetry:
             return
         self._phase_stack.append(name)
         path = ".".join(self._phase_stack)
+        tracer = self.tracer
+        span_cm = (
+            tracer.span(path, cat="phase") if tracer is not None else None
+        )
+        if span_cm is not None:
+            span_cm.__enter__()
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            if span_cm is not None:
+                span_cm.__exit__(None, None, None)
             record = self.phases.get(path)
             if record is None:
                 record = PhaseRecord(path, depth=len(self._phase_stack))

@@ -1,0 +1,197 @@
+"""The perf-trajectory envelope and regression watch.
+
+Everything runs against tmp_path: the real ``BENCH_*.json`` files and
+``benchmarks/history/`` are never touched by the test suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    append_bench,
+    bench_envelope,
+    check_history,
+    history_name,
+    load_history,
+    read_bench,
+    wrap_entry,
+)
+
+
+class TestEnvelope:
+    def test_envelope_carries_provenance(self):
+        env = bench_envelope({"benchmark": "engine", "speedup": 4.5})
+        assert env["schema"] == BENCH_SCHEMA
+        assert env["benchmark"] == "engine"
+        assert env["record"] == {"benchmark": "engine", "speedup": 4.5}
+        for key in ("created_unix", "git_sha", "host", "python", "version"):
+            assert env[key]
+
+    def test_legacy_metric_keys_are_promoted(self):
+        env = bench_envelope({"speedup": 4.5, "overhead_fraction": 0.01})
+        assert env["metrics"]["speedup"] == {
+            "value": 4.5, "direction": "higher",
+        }
+        assert env["metrics"]["overhead_fraction"]["direction"] == "lower"
+
+    def test_explicit_metrics_win(self):
+        env = bench_envelope(
+            {"speedup": 4.5},
+            metrics={"ips": {"value": 100.0, "direction": "higher"}},
+        )
+        assert set(env["metrics"]) == {"ips"}
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError):
+            bench_envelope(
+                {}, metrics={"x": {"value": 1.0, "direction": "sideways"}}
+            )
+
+
+class TestBackwardCompatibleReader:
+    def test_wrap_entry_passes_envelopes_through(self):
+        env = bench_envelope({"speedup": 2.0})
+        assert wrap_entry(env) is env
+
+    def test_wrap_entry_synthesizes_legacy(self):
+        legacy = {
+            "benchmark": "engine_fast_vs_reference",
+            "speedup": 5.05,
+            "manifest": {"python": "3.11.1", "version": "0.5.0"},
+        }
+        env = wrap_entry(legacy)
+        assert env["schema"] == "legacy"
+        assert env["record"] is legacy
+        assert env["python"] == "3.11.1"
+        assert env["metrics"]["speedup"]["value"] == 5.05
+
+    def test_read_bench_mixed_vintages(self, tmp_path):
+        path = tmp_path / "BENCH_engine.json"
+        path.write_text(json.dumps([
+            {"benchmark": "engine", "speedup": 4.0},
+            bench_envelope({"benchmark": "engine", "speedup": 4.2}),
+        ]))
+        entries = read_bench(path)
+        assert [e["schema"] for e in entries] == ["legacy", BENCH_SCHEMA]
+
+    def test_read_bench_missing_file(self, tmp_path):
+        assert read_bench(tmp_path / "BENCH_none.json") == []
+
+
+class TestAppend:
+    def test_history_name(self):
+        assert history_name("/x/BENCH_engine.json") == "engine"
+        assert history_name("BENCH_parallel.json") == "parallel"
+        assert history_name("other.json") == "other"
+
+    def test_append_writes_bench_and_history(self, tmp_path):
+        bench = tmp_path / "BENCH_engine.json"
+        history = tmp_path / "history"
+        for speedup in (4.0, 4.4):
+            append_bench(
+                bench,
+                {"benchmark": "engine", "speedup": speedup},
+                metrics={
+                    "speedup": {"value": speedup, "direction": "higher"},
+                },
+                history_dir=history,
+            )
+        entries = json.loads(bench.read_text())
+        assert len(entries) == 2
+        assert all(e["schema"] == BENCH_SCHEMA for e in entries)
+        lines = (history / "engine.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[-1])["metrics"]["speedup"]["value"] == 4.4
+
+    def test_append_preserves_legacy_entries(self, tmp_path):
+        bench = tmp_path / "BENCH_engine.json"
+        bench.write_text(json.dumps([{"speedup": 3.9}]))
+        append_bench(bench, {"speedup": 4.1}, history_dir=tmp_path / "h")
+        entries = json.loads(bench.read_text())
+        assert entries[0] == {"speedup": 3.9}  # untouched bare record
+        assert entries[1]["schema"] == BENCH_SCHEMA
+
+    def test_load_history_skips_corrupt_lines(self, tmp_path):
+        history = tmp_path / "history"
+        history.mkdir()
+        (history / "engine.jsonl").write_text(
+            json.dumps(bench_envelope({"speedup": 4.0}))
+            + "\n{not json\n"
+            + json.dumps(bench_envelope({"speedup": 4.1}))
+            + "\n"
+        )
+        series = load_history(history)
+        assert len(series["engine"]) == 2
+
+    def test_load_history_missing_dir(self, tmp_path):
+        assert load_history(tmp_path / "nope") == {}
+
+
+def record_points(history, name, values, direction="higher"):
+    for value in values:
+        append_bench(
+            history.parent / f"BENCH_{name}.json",
+            {"benchmark": name, "metric": value},
+            metrics={"metric": {"value": value, "direction": direction}},
+            history_dir=history,
+        )
+
+
+class TestCheck:
+    def test_stable_trajectory_is_ok(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(history, "engine", [4.0, 4.1, 3.9, 4.0])
+        report = check_history(history)
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert report["series"]["engine"]["metric"]["regressed"] is False
+
+    def test_higher_is_better_regression(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(history, "engine", [4.0, 4.1, 3.0])
+        report = check_history(history, tolerance=0.10)
+        assert not report["ok"]
+        (regression,) = report["regressions"]
+        assert regression["series"] == "engine"
+        assert regression["metric"] == "metric"
+
+    def test_lower_is_better_regression(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(
+            history, "telemetry", [0.010, 0.011, 0.020], direction="lower"
+        )
+        assert not check_history(history, tolerance=0.10)["ok"]
+
+    def test_improvement_is_never_flagged(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(history, "engine", [4.0, 4.0, 9.0])
+        assert check_history(history, tolerance=0.10)["ok"]
+
+    def test_tolerance_widens_the_noise_band(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(history, "engine", [4.0, 4.0, 3.2])
+        assert not check_history(history, tolerance=0.10)["ok"]
+        assert check_history(history, tolerance=0.50)["ok"]
+
+    def test_single_point_has_no_baseline(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(history, "engine", [4.0])
+        verdict = check_history(history)["series"]["engine"]["metric"]
+        assert verdict["baseline"] is None
+        assert verdict["regressed"] is False
+
+    def test_near_zero_baseline_does_not_divide_by_zero(self, tmp_path):
+        history = tmp_path / "history"
+        record_points(
+            history, "telemetry", [0.0, 0.0, 0.0], direction="lower"
+        )
+        assert check_history(history)["ok"]
+
+    def test_empty_history_is_ok(self, tmp_path):
+        report = check_history(tmp_path / "none")
+        assert report["ok"]
+        assert report["series"] == {}

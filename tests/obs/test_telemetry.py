@@ -60,6 +60,19 @@ class TestHistogram:
         h.record(7, count=3)
         assert h.items() == [(7, 3)]
 
+    def test_record_many_empty_array_is_a_no_op(self):
+        h = Histogram()
+        h.record_many(np.array([]))
+        assert h.total == 0
+        h.record(5)
+        h.record_many(np.array([], dtype=np.int64))
+        assert h.items() == [(5, 1)]
+
+    def test_record_many_empty_list_is_a_no_op(self):
+        h = Histogram()
+        h.record_many([])
+        assert h.total == 0
+
     def test_hub_reuses_named_histogram(self):
         tele = Telemetry()
         assert tele.histogram("x") is tele.histogram("x")

@@ -249,3 +249,196 @@ class TestFaultsCommand:
         out = capsys.readouterr().out
         assert "faults:" in out
         assert "execution cycles" in out
+
+
+class TestObservabilityParser:
+    def test_run_trace_flag(self):
+        assert build_parser().parse_args(["run", "mxm"]).trace == ""
+        # bare --trace defaults its filename
+        args = build_parser().parse_args(["run", "mxm", "--trace"])
+        assert args.trace == "run.trace.json"
+        args = build_parser().parse_args(
+            ["run", "mxm", "--trace", "x.json"]
+        )
+        assert args.trace == "x.json"
+
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace", "mxm"])
+        assert args.out == "run.trace.json"
+        assert args.workers == 1
+        assert args.mapping == "default"
+        assert not args.suite
+
+    def test_metrics_defaults(self):
+        args = build_parser().parse_args(["metrics", "mxm"])
+        assert args.mapping == "la"
+        assert args.out == ""
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench", "check"])
+        assert args.tolerance == 0.10
+        assert args.dir == ""
+        assert args.json == ""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "vibes"])
+
+    def test_profile_json_and_workers(self):
+        args = build_parser().parse_args(["profile", "mxm", "--json"])
+        assert args.json is True
+        assert args.workers == 1
+        args = build_parser().parse_args(
+            ["profile", "mxm", "--workers", "4"]
+        )
+        assert args.workers == 4
+
+
+class TestTraceCommand:
+    def test_run_with_trace_writes_valid_trace(self, capsys, tmp_path):
+        import json as json_mod
+
+        from repro.obs.tracing import validate_trace_events
+
+        out = tmp_path / "run.trace.json"
+        assert main(
+            ["run", "mxm", "--scale", "0.25", "--trace", str(out)]
+        ) == 0
+        assert "trace:" in capsys.readouterr().out
+        document = json_mod.loads(out.read_text())
+        assert validate_trace_events(document) == []
+        names = {e["name"] for e in document["traceEvents"]}
+        assert {"sweep", "submit", "queue-wait", "attempt"} <= names
+
+    def test_trace_command_reports_and_validates(self, capsys, tmp_path):
+        out = tmp_path / "sweep.trace.json"
+        assert main(
+            ["trace", "mxm", "--scale", "0.25", "--out", str(out)]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "trace id:" in text
+        assert "schema:      OK" in text
+        assert out.exists()
+
+    def test_trace_command_requires_apps(self, capsys):
+        assert main(["trace"]) == 2
+        assert "no applications" in capsys.readouterr().err
+
+    def test_trace_reruns_share_span_ids(self, tmp_path):
+        import json as json_mod
+
+        def span_ids(path):
+            document = json_mod.loads(path.read_text())
+            return sorted(
+                event["args"]["span_id"]
+                for event in document["traceEvents"]
+                if event["ph"] != "M"
+            )
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "mxm", "--scale", "0.25",
+                     "--out", str(a)]) == 0
+        assert main(["trace", "mxm", "--scale", "0.25",
+                     "--out", str(b)]) == 0
+        assert span_ids(a) == span_ids(b)
+
+
+class TestMetricsCommand:
+    def test_exposition_on_stdout(self, capsys):
+        assert main(["metrics", "mxm", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_phase_seconds gauge" in out
+        assert 'app="mxm"' in out
+
+    def test_exposition_to_file(self, capsys, tmp_path):
+        out = tmp_path / "metrics.txt"
+        assert main(
+            ["metrics", "mxm", "--scale", "0.25", "--out", str(out)]
+        ) == 0
+        assert "repro_phase_calls" in out.read_text()
+
+
+class TestBenchCommand:
+    def _record(self, history, values):
+        from repro.obs.bench import append_bench
+
+        for value in values:
+            append_bench(
+                history.parent / "BENCH_engine.json",
+                {"benchmark": "engine", "speedup": value},
+                metrics={
+                    "speedup": {"value": value, "direction": "higher"},
+                },
+                history_dir=history,
+            )
+
+    def test_history_empty(self, capsys, tmp_path):
+        assert main(["bench", "history", "--dir",
+                     str(tmp_path / "none")]) == 0
+        assert "no recorded bench history" in capsys.readouterr().out
+
+    def test_history_lists_series(self, capsys, tmp_path):
+        history = tmp_path / "history"
+        self._record(history, [4.0, 4.2])
+        assert main(["bench", "history", "--dir", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "engine" in out
+        assert "speedup=4.2" in out
+
+    def test_check_ok(self, capsys, tmp_path):
+        history = tmp_path / "history"
+        self._record(history, [4.0, 4.1, 4.0])
+        assert main(["bench", "check", "--dir", str(history)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_flags_regression(self, capsys, tmp_path):
+        import json as json_mod
+
+        history = tmp_path / "history"
+        self._record(history, [4.0, 4.1, 2.0])
+        report_path = tmp_path / "report.json"
+        assert main(["bench", "check", "--dir", str(history),
+                     "--json", str(report_path)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSED" in captured.out
+        assert "REGRESSION:" in captured.err
+        report = json_mod.loads(report_path.read_text())
+        assert not report["ok"]
+        assert report["regressions"][0]["series"] == "engine"
+
+    def test_check_tolerance_widens_band(self, tmp_path):
+        history = tmp_path / "history"
+        self._record(history, [4.0, 4.1, 3.2])
+        assert main(["bench", "check", "--dir", str(history)]) == 1
+        assert main(["bench", "check", "--dir", str(history),
+                     "--tolerance", "0.5"]) == 0
+
+
+class TestProfileJson:
+    def test_json_is_sorted_and_schemad(self, capsys):
+        import json as json_mod
+
+        assert main(["profile", "mxm", "--scale", "0.25", "--json"]) == 0
+        out = capsys.readouterr().out
+        payload = json_mod.loads(out)
+        assert payload["schema"] == "repro.profile/1"
+        # stable key order: the document is its own sorted serialization
+        assert out == json_mod.dumps(payload, indent=2, sort_keys=True) + "\n"
+        assert payload["phases"]
+        assert payload["stats"]["execution_cycles"] > 0
+
+    def test_profile_workers_shows_worker_phases(self, capsys):
+        assert main(
+            ["profile", "mxm", "--scale", "0.25", "--workers", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "merged worker phase profile" in out
+        assert "worker pids:" in out
+
+    def test_profile_workers_json(self, capsys):
+        import json as json_mod
+
+        assert main(["profile", "mxm", "--scale", "0.25",
+                     "--workers", "2", "--json"]) == 0
+        payload = json_mod.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.profile/1"
+        assert payload["workers"] == 2
+        assert payload["phases"]

@@ -1,0 +1,71 @@
+"""Golden snapshot of ``repro profile --json``.
+
+The machine-readable profile document is a public surface other tooling
+will parse, so its shape is pinned the same way the simulator's RunStats
+are (``tests/sim/test_golden_snapshot.py``): run the command, normalize
+away the fields that legitimately vary between runs (wall-clock
+timings, host provenance), and diff the rest field by field against
+``tests/golden/profile_mxm.json``.
+
+To bless an intentional change::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/test_profile_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent / "golden" / "profile_mxm.json"
+)
+REGEN_VAR = "REPRO_REGEN_GOLDEN"
+
+VOLATILE_MANIFEST_KEYS = (
+    "created_unix", "host", "platform", "python", "version",
+    "wall_seconds", "phase_seconds",
+)
+
+
+def normalized_profile(capsys) -> dict:
+    assert main(["profile", "mxm", "--scale", "0.25", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # Wall-clock seconds vary run to run; the phase *structure* does not.
+    for record in payload["phases"].values():
+        record["seconds"] = 0.0
+    for key in VOLATILE_MANIFEST_KEYS:
+        payload["manifest"].pop(key, None)
+    return payload
+
+
+def test_profile_json_matches_golden(capsys):
+    actual = normalized_profile(capsys)
+
+    if os.environ.get(REGEN_VAR):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(actual, indent=2, sort_keys=True) + "\n"
+        )
+        pytest.skip(f"regenerated {GOLDEN_PATH}")
+
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden snapshot {GOLDEN_PATH}; generate it with "
+        f"{REGEN_VAR}=1"
+    )
+    expected = json.loads(GOLDEN_PATH.read_text())
+    assert set(actual) == set(expected), "profile document field set changed"
+    mismatches = {
+        field: (expected[field], actual[field])
+        for field in sorted(expected)
+        if actual[field] != expected[field]
+    }
+    assert not mismatches, (
+        "profile --json drifted from golden snapshot (expected, actual): "
+        f"{mismatches}"
+    )
