@@ -46,6 +46,7 @@ from .diagnostics import (
     Severity,
 )
 from . import faultplan as _faultplan  # noqa: F401 - registers FLT rules
+from . import source as _source  # noqa: F401 - registers source lint rules
 from .fixtures import FIXTURES, build_fixture, fixture_names
 from .framework import (
     AnalysisContext,
@@ -65,8 +66,24 @@ from .parallel import (
     certify_nest,
     certify_program,
 )
+from .source import (
+    DEFAULT_MANIFEST,
+    LINT_SCHEMA,
+    Baseline,
+    LintReport,
+    SourceIndex,
+    ZoneManifest,
+    build_index,
+    lint_package,
+    lint_paths,
+    source_rules,
+)
 
 __all__ = [
+    "Baseline",
+    "DEFAULT_MANIFEST",
+    "LINT_SCHEMA",
+    "LintReport",
     "SCHEMA",
     "AnalysisContext",
     "AnalysisError",
@@ -82,7 +99,10 @@ __all__ = [
     "PairKind",
     "Rule",
     "Severity",
+    "SourceIndex",
+    "ZoneManifest",
     "all_rules",
+    "build_index",
     "analyze_config",
     "analyze_run",
     "analyze_workload",
@@ -96,10 +116,13 @@ __all__ = [
     "fixture_names",
     "gate",
     "get_rule",
+    "lint_package",
+    "lint_paths",
     "register_rule",
     "render_directions",
     "rule_catalogue",
     "run_rules",
+    "source_rules",
 ]
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -36,6 +37,9 @@ from repro.workloads.base import Workload
 
 from .diagnostics import AnalysisReport, Diagnostic, Severity
 
+if TYPE_CHECKING:
+    from .source.index import SourceIndex
+
 
 @dataclass
 class AnalysisContext:
@@ -52,6 +56,7 @@ class AnalysisContext:
     workload: Optional[Workload] = None
     params: Mapping[str, int] = field(default_factory=dict)
     fault_plan: Optional[FaultPlan] = None
+    source: Optional["SourceIndex"] = None
 
     @property
     def subject(self) -> str:
@@ -64,6 +69,8 @@ class AnalysisContext:
             )
         if self.fault_plan is not None:
             parts.append(f"faults:{self.fault_plan.plan_hash()}")
+        if self.source is not None:
+            parts.append(f"source:{self.source.label}")
         return "+".join(parts) or "<empty>"
 
     def bound_params(self) -> Dict[str, int]:
@@ -82,7 +89,8 @@ class Rule:
     rule_id: str = "ANA000"
     title: str = ""
     default_severity: Severity = Severity.ERROR
-    requires: Sequence[str] = ()  # subset of {"config", "workload", "fault_plan"}
+    # subset of {"config", "workload", "fault_plan", "source"}
+    requires: Sequence[str] = ()
 
     def applicable(self, ctx: AnalysisContext) -> bool:
         if "config" in self.requires and ctx.config is None:
@@ -90,6 +98,8 @@ class Rule:
         if "workload" in self.requires and ctx.workload is None:
             return False
         if "fault_plan" in self.requires and ctx.fault_plan is None:
+            return False
+        if "source" in self.requires and ctx.source is None:
             return False
         return True
 

@@ -1,0 +1,83 @@
+"""Source-level determinism & process-safety linter (``repro lint``).
+
+This subpackage turns the PR 3 rule framework on the repo itself: an
+AST pass over ``src/repro`` certifying the invariants the rest of the
+toolchain depends on -- no wall clock in cache-key/span-id derivation
+(DET101), ``sort_keys=True`` on every serialized artifact (DET102), no
+unordered iteration feeding hashes or report rows (DET103), nothing
+unpicklable submitted to process pools (PKL101), no module-level
+mutable state mutated inside worker call trees (MUT101), and no
+overbroad ``except`` swallowing ``BrokenExecutor`` in retry paths
+(EXC101).
+
+Entry points: :func:`lint_paths` for arbitrary trees (tests, fixtures)
+and :func:`lint_package` for the default self-lint of ``src/repro``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import BASELINE_SCHEMA, Baseline, BaselineEntry, fingerprint
+from .index import ModuleSource, SourceIndex, build_index, module_name_for
+from .report import LINT_SCHEMA, LintFinding, LintReport, build_lint_report
+from .rules import SOURCE_RULE_IDS, SourceRule, source_rules
+from .zones import DEFAULT_MANIFEST, KNOWN_ZONES, ZoneManifest
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_MANIFEST",
+    "KNOWN_ZONES",
+    "LINT_SCHEMA",
+    "LintFinding",
+    "LintReport",
+    "ModuleSource",
+    "SOURCE_RULE_IDS",
+    "SourceIndex",
+    "SourceRule",
+    "ZoneManifest",
+    "build_index",
+    "build_lint_report",
+    "fingerprint",
+    "lint_package",
+    "lint_paths",
+    "module_name_for",
+    "package_root",
+    "source_rules",
+]
+
+
+def lint_paths(
+    paths: Sequence["str | Path"],
+    manifest: Optional[ZoneManifest] = None,
+    baseline: Optional[Baseline] = None,
+    label: Optional[str] = None,
+) -> LintReport:
+    """Lint arbitrary source trees (used by tests and fixtures)."""
+    index = build_index(
+        paths, manifest=manifest or DEFAULT_MANIFEST, label=label
+    )
+    return build_lint_report(index, baseline=baseline)
+
+
+def package_root() -> Path:
+    """The installed ``repro`` package directory (the self-lint subject)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def lint_package(
+    baseline: Optional[Baseline] = None,
+    manifest: Optional[ZoneManifest] = None,
+) -> LintReport:
+    """Self-lint ``src/repro`` -- the tier-1 certification entry point."""
+    return lint_paths(
+        [package_root()],
+        manifest=manifest,
+        baseline=baseline,
+        label="repro",
+    )

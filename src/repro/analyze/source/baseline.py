@@ -1,0 +1,125 @@
+"""Baseline store: grandfathered findings, fingerprinted not line-pinned.
+
+A baseline entry identifies a finding by a content fingerprint --
+``sha256(rule | module | symbol | stripped source line)`` -- so it
+survives unrelated line-number drift but dies the moment the offending
+line itself changes.  The checked-in repo baseline
+(``lint-baseline.json``) is **empty by policy**: findings get fixed or
+annotated, not baselined; the file exists so emergency grandfathering
+has a paved road and so the round-trip machinery stays exercised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+
+def fingerprint(
+    rule_id: str, module: str, symbol: str, line_text: str
+) -> str:
+    """Stable 16-hex identity of one finding (line-number independent)."""
+    material = "|".join([rule_id, module, symbol, " ".join(line_text.split())])
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    fingerprint: str
+    rule: str
+    module: str
+    symbol: str
+    message: str = ""
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "module": self.module,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BaselineEntry":
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            rule=str(data.get("rule", "")),
+            module=str(data.get("module", "")),
+            symbol=str(data.get("symbol", "")),
+            message=str(data.get("message", "")),
+        )
+
+
+class Baseline:
+    """A set of grandfathered finding fingerprints, JSON round-trippable."""
+
+    def __init__(
+        self,
+        entries: Sequence[BaselineEntry] = (),
+        path: Optional[Path] = None,
+    ) -> None:
+        self.entries: List[BaselineEntry] = sorted(
+            entries, key=lambda e: (e.rule, e.module, e.fingerprint)
+        )
+        self.path = path
+
+    # -- queries ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, fp: str) -> bool:
+        return any(entry.fingerprint == fp for entry in self.entries)
+
+    def stale(self, seen: Set[str]) -> List[BaselineEntry]:
+        """Entries whose finding no longer exists (fix landed: prune them)."""
+        return [e for e in self.entries if e.fingerprint not in seen]
+
+    # -- serialization ----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": BASELINE_SCHEMA,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+
+    def save(self, path: "str | Path") -> None:
+        target = Path(path)
+        target.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        self.path = target
+
+    @classmethod
+    def load(cls, path: "str | Path | None") -> "Baseline":
+        """Load a baseline file; a missing path yields an empty baseline."""
+        if path is None:
+            return cls()
+        source = Path(path)
+        if not source.exists():
+            return cls(path=source)
+        data = json.loads(source.read_text(encoding="utf-8"))
+        if not isinstance(data, dict):
+            raise ValueError(f"{source}: baseline is not a JSON object")
+        schema = data.get("schema")
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"{source}: unknown baseline schema {schema!r} "
+                f"(expected {BASELINE_SCHEMA})"
+            )
+        entries = [
+            BaselineEntry.from_dict(entry)
+            for entry in data.get("entries", [])
+            if isinstance(entry, dict) and "fingerprint" in entry
+        ]
+        return cls(entries=entries, path=source)
+
+    def __repr__(self) -> str:
+        return f"Baseline({len(self.entries)} entr(ies), path={self.path})"

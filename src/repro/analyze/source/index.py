@@ -1,0 +1,271 @@
+"""The parsed-source model the lint rules walk.
+
+One :class:`ModuleSource` per ``.py`` file: its AST, dotted module name
+(derived by walking up through ``__init__.py`` packages, so the index
+works both on ``src/repro`` and on loose fixture directories), the zone
+tags the manifest assigns it, an import map for resolving dotted call
+paths, per-line suppression annotations, and a one-level intra-module
+call graph (direct callees by name) so zone taint follows helper
+functions.
+
+Suppression syntax (same line as the finding, or the line above)::
+
+    # repro-lint: allow[DET101] reason=span timestamps are timing data
+
+The reason is mandatory: an annotation without one does not suppress.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set
+
+from .zones import ZoneManifest
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(?:reason=(.+))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``# repro-lint: allow[...]`` annotation."""
+
+    line: int
+    rules: FrozenSet[str]
+    reason: str
+
+    @property
+    def valid(self) -> bool:
+        return bool(self.reason.strip())
+
+    def covers(self, rule_id: str) -> bool:
+        return self.valid and rule_id in self.rules
+
+
+def _parse_suppressions(lines: Sequence[str]) -> Dict[int, Suppression]:
+    out: Dict[int, Suppression] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        out[lineno] = Suppression(
+            line=lineno, rules=rules, reason=(match.group(2) or "").strip()
+        )
+    return out
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name, walking up while ``__init__.py`` packages last.
+
+    ``src/repro/exec/cells.py`` -> ``repro.exec.cells``; a loose fixture
+    file outside any package is just its stem (``det101_bad``); a
+    package ``__init__.py`` names the package itself.
+    """
+    path = path.resolve()
+    parts: List[str] = [] if path.name == "__init__.py" else [path.stem]
+    directory = path.parent
+    while (directory / "__init__.py").exists():
+        parts.insert(0, directory.name)
+        parent = directory.parent
+        if parent == directory:
+            break
+        directory = parent
+    return ".".join(parts) or path.stem
+
+
+@dataclass
+class ModuleSource:
+    """One parsed source file plus everything the rules need around it."""
+
+    path: Path
+    module: str
+    text: str
+    tree: ast.Module
+    zones: FrozenSet[str]
+    lines: List[str] = field(default_factory=list)
+    imports: Dict[str, str] = field(default_factory=dict)
+    import_members: Dict[str, str] = field(default_factory=dict)
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+    functions: Dict[str, ast.AST] = field(default_factory=dict)
+    calls_out: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.lines = self.text.splitlines()
+        self.suppressions = _parse_suppressions(self.lines)
+        self._index_imports()
+        self._index_functions()
+
+    # -- construction helpers --------------------------------------------
+    def _index_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # ``import a.b`` binds ``a`` in the namespace.
+                        root = alias.name.split(".")[0]
+                        self.imports[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.import_members[local] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def _index_functions(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        self.functions[f"{node.name}.{item.name}"] = item
+        for name, fn in self.functions.items():
+            callees: Set[str] = set()
+            for node in ast.walk(fn):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in self.functions
+                ):
+                    callees.add(node.func.id)
+            self.calls_out[name] = callees
+
+    # -- queries ----------------------------------------------------------
+    def resolve_call_path(self, func: ast.AST) -> Optional[str]:
+        """Dotted path of a call target, via the module's import maps.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when
+        ``import numpy as np``; ``time()`` -> ``time.time`` when ``from
+        time import time``; a bare local name resolves to itself; chains
+        rooted at non-import names (``self._rng.random``) resolve to
+        ``None`` -- the linter never guesses at instance state.
+        """
+        chain: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.insert(0, node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = node.id
+        if root in self.imports:
+            return ".".join([self.imports[root], *chain])
+        if root in self.import_members:
+            return ".".join([self.import_members[root], *chain])
+        if chain:
+            return None
+        return root
+
+    def suppression_for(self, line: int, rule_id: str) -> Optional[Suppression]:
+        """The annotation covering ``rule_id`` at ``line`` (or just above)."""
+        for candidate in (line, line - 1):
+            note = self.suppressions.get(candidate)
+            if note is not None and note.covers(rule_id):
+                return note
+        return None
+
+    def enclosing_symbol(self, line: int) -> str:
+        """Name of the innermost indexed function containing ``line``."""
+        best = "<module>"
+        best_span = None
+        for name, fn in self.functions.items():
+            start = getattr(fn, "lineno", 0)
+            end = getattr(fn, "end_lineno", start)
+            if start <= line <= (end or start):
+                span = (end or start) - start
+                if best_span is None or span <= best_span:
+                    best, best_span = name, span
+        return best
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+
+class SourceIndex:
+    """Every module the lint run covers, in sorted path order."""
+
+    def __init__(self, modules: Sequence[ModuleSource], label: str) -> None:
+        self.modules = sorted(modules, key=lambda m: str(m.path))
+        self.label = label
+        self.errors: List[str] = []
+
+    def __iter__(self) -> Iterator[ModuleSource]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def by_module(self, module: str) -> Optional[ModuleSource]:
+        for candidate in self.modules:
+            if candidate.module == module:
+                return candidate
+        return None
+
+    def __repr__(self) -> str:
+        return f"SourceIndex({self.label!r}, {len(self.modules)} module(s))"
+
+
+def _iter_py_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def build_index(
+    paths: Sequence["str | Path"],
+    manifest: ZoneManifest,
+    label: Optional[str] = None,
+) -> SourceIndex:
+    """Parse every ``.py`` file under ``paths`` into a :class:`SourceIndex`.
+
+    A file that fails to parse is recorded in :attr:`SourceIndex.errors`
+    (and surfaced as an ``ANA999`` finding by the runner) rather than
+    aborting the whole lint -- the linter must never crash the toolchain
+    it is guarding.
+    """
+    modules: List[ModuleSource] = []
+    errors: List[str] = []
+    for raw in paths:
+        root = Path(raw)
+        for file_path in _iter_py_files(root):
+            text = file_path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(text, filename=str(file_path))
+            except SyntaxError as exc:
+                errors.append(f"{file_path}: {exc.msg} (line {exc.lineno})")
+                continue
+            module = module_name_for(file_path)
+            modules.append(
+                ModuleSource(
+                    path=file_path,
+                    module=module,
+                    text=text,
+                    tree=tree,
+                    zones=manifest.zones_of(module),
+                )
+            )
+    index = SourceIndex(
+        modules, label=label or ", ".join(str(p) for p in paths)
+    )
+    index.errors = errors
+    return index

@@ -1,0 +1,643 @@
+"""The source-level rule set: DET101-103, PKL101, MUT101, EXC101.
+
+Every rule is a :class:`~repro.analyze.framework.Rule` subclass
+registered in the same registry as the PAR/CFG/AFF/FLT rules, requiring
+``"source"`` on the :class:`~repro.analyze.framework.AnalysisContext` --
+so ``repro analyze`` contexts skip them and ``repro lint`` selects them
+via :func:`source_rules`.  Findings carry their location evidence
+(``path``, ``line``, ``col``, ``module``, ``symbol``, ``zone``) in
+``Diagnostic.details``; suppression annotations and the baseline are
+applied downstream by :mod:`repro.analyze.source.report`, so a rule
+never needs to know about either.
+
+Zone scoping: each rule lists the zone tags it polices in
+:attr:`SourceRule.zones`; an empty tuple means "every indexed module".
+See :mod:`repro.analyze.source.zones` for the tag vocabulary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple, Type
+
+from ..diagnostics import Diagnostic, Severity
+from ..framework import AnalysisContext, Rule, register_rule
+from .index import ModuleSource, SourceIndex
+
+
+class SourceRule(Rule):
+    """Base for AST rules: iterates zoned modules, locates findings."""
+
+    requires = ("source",)
+    default_severity = Severity.ERROR
+    zones: Tuple[str, ...] = ()
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        index = ctx.source
+        if index is None:  # pragma: no cover - guarded by ``requires``
+            return
+        for module in index:
+            if self.zones and not any(
+                zone in module.zones for zone in self.zones
+            ):
+                continue
+            yield from self.check_module(module)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        raise NotImplementedError
+
+    def located(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        **extra: object,
+    ) -> Diagnostic:
+        line = int(getattr(node, "lineno", 0))
+        return self.finding(
+            subject=f"{module.module}:{line}",
+            message=message,
+            path=str(module.path),
+            line=line,
+            col=int(getattr(node, "col_offset", 0)),
+            module=module.module,
+            symbol=module.enclosing_symbol(line),
+            zone=",".join(sorted(module.zones)) or "-",
+            **extra,
+        )
+
+
+# ----------------------------------------------------------------------
+# DET101 -- wall clock / pid / unseeded randomness in identity zones
+# ----------------------------------------------------------------------
+_DET101_FORBIDDEN: FrozenSet[str] = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime", "time.clock_gettime_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "os.urandom", "os.getpid", "os.getppid",
+    "uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5",
+})
+_DET101_RANDOM_PREFIXES: Tuple[str, ...] = (
+    "random.", "numpy.random.", "secrets.",
+)
+_DET101_SEEDED_OK: FrozenSet[str] = frozenset({
+    # Explicitly-seeded generator constructors are the sanctioned way to
+    # get reproducible streams; argless calls fall back to OS entropy.
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+    "numpy.random.PCG64",
+    "numpy.random.SeedSequence",
+})
+
+
+@register_rule
+class WallClockInIdentityRule(SourceRule):
+    rule_id = "DET101"
+    title = (
+        "wall-clock/pid/unseeded-randomness call in hash/cache-key/span-id "
+        "zone"
+    )
+    zones = ("id",)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = module.resolve_call_path(node.func)
+            if path is None:
+                continue
+            if path in _DET101_FORBIDDEN:
+                yield self.located(
+                    module, node,
+                    f"call to {path}() inside a determinism zone: "
+                    "identity material (cache keys, span ids, seeds) must "
+                    "not depend on the wall clock, the pid, or OS entropy",
+                    call=path,
+                )
+            elif path.startswith(_DET101_RANDOM_PREFIXES):
+                if path in _DET101_SEEDED_OK and (node.args or node.keywords):
+                    continue  # explicitly seeded: reproducible by intent
+                yield self.located(
+                    module, node,
+                    f"call to {path}() inside a determinism zone: use an "
+                    "explicitly seeded generator (e.g. "
+                    "numpy.random.default_rng(seed))",
+                    call=path,
+                )
+
+
+# ----------------------------------------------------------------------
+# DET102 -- json.dump(s) without sort_keys=True in serialize zones
+# ----------------------------------------------------------------------
+@register_rule
+class UnsortedJsonRule(SourceRule):
+    rule_id = "DET102"
+    title = "json.dump(s) without sort_keys=True in manifest/report zone"
+    zones = ("serialize",)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = module.resolve_call_path(node.func)
+            if path not in ("json.dump", "json.dumps"):
+                continue
+            sort_keys: Optional[ast.expr] = None
+            for keyword in node.keywords:
+                if keyword.arg == "sort_keys":
+                    sort_keys = keyword.value
+                elif keyword.arg is None:
+                    sort_keys = keyword.value  # **kwargs: trust the caller
+            if sort_keys is None or (
+                isinstance(sort_keys, ast.Constant)
+                and sort_keys.value is not True
+            ):
+                yield self.located(
+                    module, node,
+                    f"{path}() without sort_keys=True in a serialization "
+                    "zone: manifests, reports and bench artifacts must "
+                    "serialize with a canonical key order",
+                    call=path or "json.dump",
+                )
+
+
+# ----------------------------------------------------------------------
+# DET103 -- unordered set / dict.keys iteration without sorted()
+# ----------------------------------------------------------------------
+_ORDERED_CONSUMERS: FrozenSet[str] = frozenset({
+    # Builtins whose result order mirrors the input's iteration order, or
+    # whose result depends on it (float sums are order-sensitive).
+    "list", "tuple", "sum", "enumerate",
+})
+
+
+def _local_set_names(scope: ast.AST) -> Set[str]:
+    """Names bound to set-typed expressions anywhere in ``scope``."""
+    names: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node is not scope
+        ):
+            continue
+        if isinstance(node, ast.Assign) and _is_set_expr(node.value, names):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if _is_set_expr(node.value, names) and isinstance(
+                node.target, ast.Name
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.AST, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "keys"
+        and not node.args
+        and not node.keywords
+    )
+
+
+@register_rule
+class UnorderedIterationRule(SourceRule):
+    rule_id = "DET103"
+    title = (
+        "unordered set/dict.keys iteration feeding hash/report/reduction "
+        "without sorted()"
+    )
+    zones = ("id", "serialize", "report")
+
+    def check_module(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        # Module-level set bindings are visible everywhere; function
+        # scopes add their own.  Functions are walked first so their
+        # sites resolve against the richer name set; the ``seen`` guard
+        # keeps the later module-tree walk from double-reporting.
+        module_sets: Set[str] = set()
+        for stmt in module.tree.body:
+            if isinstance(stmt, ast.Assign) and _is_set_expr(
+                stmt.value, module_sets
+            ):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        module_sets.add(target.id)
+        seen: Set[int] = set()
+        scopes: List[ast.AST] = [*module.functions.values(), module.tree]
+        for scope in scopes:
+            set_names = (
+                module_sets
+                if scope is module.tree
+                else module_sets | _local_set_names(scope)
+            )
+            for node in ast.walk(scope):
+                yield from self._check_node(module, node, set_names, seen)
+
+    def _check_node(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        set_names: Set[str],
+        seen: Set[int],
+    ) -> Iterator[Diagnostic]:
+        sites: List[Tuple[ast.AST, ast.AST, str]] = []
+        if isinstance(node, ast.For):
+            sites.append((node.iter, node, "for-loop"))
+        elif isinstance(
+            node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            # SetComp is exempt: its result is unordered anyway.
+            for gen in node.generators:
+                sites.append((gen.iter, node, "comprehension"))
+        elif isinstance(node, ast.Call):
+            consumer = None
+            if isinstance(node.func, ast.Name) and (
+                node.func.id in _ORDERED_CONSUMERS
+            ):
+                consumer = node.func.id
+            elif isinstance(node.func, ast.Attribute) and (
+                node.func.attr == "join"
+            ):
+                consumer = "join"
+            if consumer is not None:
+                for arg in node.args:
+                    sites.append((arg, node, f"{consumer}()"))
+        for expr, anchor, context in sites:
+            if id(expr) in seen:
+                continue
+            seen.add(id(expr))
+            unordered: Optional[str] = None
+            if _is_set_expr(expr, set_names):
+                unordered = "a set"
+            elif _is_keys_call(expr):
+                unordered = "dict.keys()"
+            if unordered is None:
+                continue
+            yield self.located(
+                module, anchor,
+                f"iteration over {unordered} in a {context} feeds "
+                "order-sensitive output in a determinism zone; wrap the "
+                "iterable in sorted()",
+                context=context,
+            )
+
+
+# ----------------------------------------------------------------------
+# PKL101 -- unpicklable callables submitted to executors
+# ----------------------------------------------------------------------
+def _is_executor_receiver(node: ast.AST) -> bool:
+    """Heuristic: the receiver of ``.submit``/``.map`` looks pool-like."""
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name is None:
+        return False
+    lowered = name.lower()
+    return "pool" in lowered or "executor" in lowered
+
+
+@register_rule
+class UnpicklableSubmitRule(SourceRule):
+    rule_id = "PKL101"
+    title = "lambda/closure/bound method submitted to a process executor"
+    zones = ()  # applies everywhere: pool dispatch is wrong anywhere
+
+    def check_module(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        nested = _nested_function_names(module)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and _is_executor_receiver(node.func.value)
+                and node.args
+            ):
+                continue
+            target = node.args[0]
+            problem: Optional[str] = None
+            if isinstance(target, ast.Lambda):
+                problem = "a lambda"
+            elif isinstance(target, ast.Name) and target.id in nested:
+                problem = f"the nested function {target.id!r} (a closure)"
+            elif isinstance(target, ast.Attribute):
+                root: ast.AST = target
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if not (
+                    isinstance(root, ast.Name)
+                    and root.id in module.imports
+                ):
+                    problem = "a bound method / instance attribute"
+            if problem is not None:
+                yield self.located(
+                    module, node,
+                    f"{node.func.attr}() receives {problem}: not picklable "
+                    "(or identity-unstable) across process boundaries -- "
+                    "pass a module-level function",
+                    method=node.func.attr,
+                )
+
+
+def _nested_function_names(module: ModuleSource) -> Set[str]:
+    """Names of defs nested inside other defs (closure candidates)."""
+    nested: Set[str] = set()
+    for fn in module.functions.values():
+        for node in ast.walk(fn):
+            if node is fn:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(node.name)
+    return nested
+
+
+# ----------------------------------------------------------------------
+# MUT101 -- module-level mutable state mutated in worker call trees
+# ----------------------------------------------------------------------
+_MUTATORS: FrozenSet[str] = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "remove", "discard", "pop", "popitem", "clear",
+})
+_MUTABLE_FACTORIES: FrozenSet[str] = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque",
+})
+
+
+def _module_mutable_globals(module: ModuleSource) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for node in module.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        mutable = isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                    ast.SetComp)
+        ) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in _MUTABLE_FACTORIES
+        )
+        if not mutable:
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                out[target.id] = node.lineno
+    return out
+
+
+def _worker_entry_functions(index: SourceIndex) -> Dict[str, Set[str]]:
+    """module name -> function names executed in pool workers.
+
+    Entry points are callables submitted by name to ``.submit``/``.map``
+    anywhere in the index, expanded one level through each module's
+    direct-callee graph (the "call-graph lite" zone-taint rule).
+    """
+    entries: Dict[str, Set[str]] = {}
+
+    def add(module_name: str, function: str) -> None:
+        entries.setdefault(module_name, set()).add(function)
+
+    for module in index:
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and _is_executor_receiver(node.func.value)
+                and node.args
+            ):
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Name):
+                if target.id in module.functions:
+                    add(module.module, target.id)
+                elif target.id in module.import_members:
+                    origin = module.import_members[target.id]
+                    origin_module, _, fn = origin.rpartition(".")
+                    add(origin_module, fn)
+    # One level of direct callees inside the same module.
+    for module_name, functions in list(entries.items()):
+        module = index.by_module(module_name)
+        if module is None:
+            continue
+        reachable = set(functions)
+        for fn in functions:
+            reachable |= module.calls_out.get(fn, set())
+        entries[module_name] = reachable
+    return entries
+
+
+def _local_bindings(fn: ast.AST) -> Set[str]:
+    """Names bound locally in ``fn`` (params + stores), minus globals."""
+    bound: Set[str] = set()
+    declared_global: Set[str] = set()
+    args = getattr(fn, "args", None)
+    if args is not None:
+        for arg in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            bound.add(arg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            bound.add(node.id)
+    return bound - declared_global
+
+
+@register_rule
+class WorkerSharedStateRule(SourceRule):
+    rule_id = "MUT101"
+    title = "module-level mutable state mutated inside a worker call tree"
+    zones = ()  # derived from submit sites, not from the zone manifest
+
+    def check(self, ctx: AnalysisContext) -> Iterable[Diagnostic]:
+        index = ctx.source
+        if index is None:  # pragma: no cover - guarded by ``requires``
+            return
+        entries = _worker_entry_functions(index)
+        for module in index:
+            worker_fns = entries.get(module.module, set())
+            if not worker_fns:
+                continue
+            mutables = _module_mutable_globals(module)
+            if not mutables:
+                continue
+            for fn_name in sorted(worker_fns):
+                fn = module.functions.get(fn_name)
+                if fn is None:
+                    continue
+                yield from self._check_function(
+                    module, fn_name, fn, mutables
+                )
+
+    def _check_function(
+        self,
+        module: ModuleSource,
+        fn_name: str,
+        fn: ast.AST,
+        mutables: Dict[str, int],
+    ) -> Iterator[Diagnostic]:
+        local = _local_bindings(fn)
+        shared = {name for name in mutables if name not in local}
+        if not shared:
+            return
+        for node in ast.walk(fn):
+            name: Optional[str] = None
+            how = ""
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in _MUTATORS and isinstance(
+                    node.func.value, ast.Name
+                ):
+                    name = node.func.value.id
+                    how = f".{node.func.attr}()"
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                name = node.target.id
+                how = "augmented assignment"
+            elif isinstance(node, (ast.Assign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else []
+                )
+                for target in targets:
+                    if isinstance(target, ast.Subscript) and isinstance(
+                        target.value, ast.Name
+                    ):
+                        name = target.value.id
+                        how = "subscript assignment"
+            if name is not None and name in shared:
+                yield self.located(
+                    module, node,
+                    f"worker-executed function {fn_name!r} mutates "
+                    f"module-level mutable {name!r} via {how}: forked "
+                    "workers each mutate their own copy, so the state is "
+                    "stale/divergent across processes",
+                    function=fn_name,
+                    global_name=name,
+                )
+
+
+# ----------------------------------------------------------------------
+# EXC101 -- overbroad except swallowing BrokenExecutor in retry paths
+# ----------------------------------------------------------------------
+_BROKEN_NAMES: FrozenSet[str] = frozenset({
+    "BrokenExecutor", "BrokenProcessPool", "BrokenThreadPool",
+})
+_BROAD_NAMES: FrozenSet[str] = frozenset({"Exception", "BaseException"})
+_FUTURE_TOUCH_ATTRS: FrozenSet[str] = frozenset({"result", "submit"})
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    """Exception class names one handler catches (empty = bare except)."""
+    names: Set[str] = set()
+    node = handler.type
+    if node is None:
+        return names
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.add(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.add(element.attr)
+    return names
+
+
+def _touches_futures(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute) and (
+                    node.func.attr in _FUTURE_TOUCH_ATTRS
+                ):
+                    return True
+                if isinstance(node.func, ast.Name) and node.func.id == "wait":
+                    return True
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(node, ast.Raise) for node in ast.walk(handler)
+    )
+
+
+@register_rule
+class SwallowedBrokenExecutorRule(SourceRule):
+    rule_id = "EXC101"
+    title = "overbroad except in retry/backoff path swallows BrokenExecutor"
+    zones = ("retry",)
+
+    def check_module(self, module: ModuleSource) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Try):
+                continue
+            saw_broken = False
+            for handler in node.handlers:
+                names = _handler_names(handler)
+                if names & _BROKEN_NAMES:
+                    saw_broken = True
+                    continue
+                if handler.type is None:
+                    yield self.located(
+                        module, handler,
+                        "bare except in a retry/backoff zone: swallows "
+                        "BrokenExecutor (and KeyboardInterrupt); catch "
+                        "specific exceptions, or BrokenExecutor first",
+                    )
+                    continue
+                if not (names & _BROAD_NAMES):
+                    continue
+                if saw_broken or _reraises(handler):
+                    continue
+                if _touches_futures(node.body):
+                    yield self.located(
+                        module, handler,
+                        "except "
+                        f"{'/'.join(sorted(names & _BROAD_NAMES))} around "
+                        "pool future operations without a preceding "
+                        "BrokenExecutor handler: a dead pool would be "
+                        "retried as if the cell itself had failed",
+                    )
+
+
+SOURCE_RULE_IDS: Tuple[str, ...] = (
+    "DET101", "DET102", "DET103", "EXC101", "MUT101", "PKL101",
+)
+
+
+def source_rules() -> List[Type[Rule]]:
+    """The registered source-level rules, in rule-id order."""
+    from ..framework import get_rule
+
+    return [get_rule(rule_id) for rule_id in SOURCE_RULE_IDS]

@@ -4,6 +4,9 @@ Commands:
 
 * ``list``                          -- the 21 benchmarks and their metadata
 * ``analyze [APP ...] [--json F]``  -- static safety/legality verification
+* ``lint [--json F] [--paths P]``   -- source-level determinism &
+                                       process-safety lint of the repo's
+                                       own ``src/repro`` tree
 * ``run [APP ...] [--mapping M] [--workers N] [--cache-dir D] [--resume]``
                                     -- simulate one or many apps; with
                                        ``--workers``/``--cache-dir`` the
@@ -34,6 +37,8 @@ Examples::
     python -m repro analyze --all --json diagnostics.json
     python -m repro analyze mxm nbf --verbose
     python -m repro analyze --fixture carried-stencil   # exits 1
+    python -m repro lint --json repro_lint.json
+    python -m repro lint --list-rules
     python -m repro compare mxm --scale 0.6
     python -m repro run nbf --mapping la --llc private
     python -m repro run --suite --workers 4 --cache-dir .repro-cache
@@ -188,6 +193,83 @@ def cmd_analyze(args) -> int:
             handle.write("\n")
         print(f"JSON diagnostics -> {args.json}")
     return exit_code
+
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+def _default_baseline_path():
+    """The checked-in repo baseline when present, else CWD's, else None."""
+    from pathlib import Path
+
+    from repro.analyze.source import package_root
+
+    repo_root = package_root().parent.parent
+    for candidate in (
+        repo_root / DEFAULT_BASELINE_NAME,
+        Path.cwd() / DEFAULT_BASELINE_NAME,
+    ):
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def cmd_lint(args) -> int:
+    """Source-level determinism & process-safety lint (self-certification)."""
+    from repro.analyze.source import (
+        DEFAULT_MANIFEST,
+        Baseline,
+        ZoneManifest,
+        lint_package,
+        lint_paths,
+        source_rules,
+    )
+
+    if args.list_rules:
+        print_table(
+            ["rule", "severity", "zones", "title"],
+            [
+                [
+                    cls.rule_id,
+                    cls.default_severity.value,
+                    ",".join(cls.zones) or "(all)",
+                    cls.title,
+                ]
+                for cls in source_rules()
+            ],
+            title="source lint rules",
+        )
+        return 0
+
+    baseline_path = args.baseline or _default_baseline_path()
+    baseline = Baseline.load(baseline_path)
+    manifest = None
+    if args.zone:
+        # Ad-hoc zoning: every linted module additionally carries the
+        # requested tags (useful when pointing --paths at loose files).
+        manifest = ZoneManifest(
+            [*DEFAULT_MANIFEST.assignments, ("*", tuple(args.zone))]
+        )
+    if args.paths:
+        report = lint_paths(args.paths, manifest=manifest, baseline=baseline)
+    else:
+        report = lint_package(baseline=baseline, manifest=manifest)
+
+    if args.update_baseline:
+        target = args.baseline or baseline_path or DEFAULT_BASELINE_NAME
+        report.to_baseline().save(target)
+        print(
+            f"baseline with {len(report.active)} entr(ies) -> {target} "
+            "(policy: fix findings instead; keep the checked-in file empty)"
+        )
+        return 0
+
+    print(report.render_text(verbose=args.verbose))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"lint report JSON -> {args.json}")
+    return report.exit_code
 
 
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -502,6 +584,35 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _bench_lint_verdict(path_arg: str):
+    """Load a ``repro.lint/1`` artifact for the bench-check verdict line.
+
+    Returns None when no artifact is present (explicit ``--lint-report``
+    path missing, or no ``repro_lint.json`` in the CWD).
+    """
+    from pathlib import Path
+
+    candidate = Path(path_arg) if path_arg else Path("repro_lint.json")
+    if not candidate.exists():
+        if path_arg:
+            print(f"lint report not found: {candidate}", file=sys.stderr)
+        return None
+    try:
+        payload = json.loads(candidate.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        print(f"unreadable lint report: {candidate}", file=sys.stderr)
+        return None
+    if not isinstance(payload, dict) or payload.get("schema") != "repro.lint/1":
+        print(f"not a repro.lint/1 artifact: {candidate}", file=sys.stderr)
+        return None
+    summary = payload.get("summary") or {}
+    return {
+        "path": str(candidate),
+        "schema": payload["schema"],
+        "summary": summary,
+    }
+
+
 def cmd_bench(args) -> int:
     """The perf-regression watch over ``benchmarks/history/*.jsonl``."""
     from repro.obs.bench import check_history, load_history
@@ -557,6 +668,16 @@ def cmd_bench(args) -> int:
         )
     else:
         print("no recorded bench history to check")
+    lint = _bench_lint_verdict(getattr(args, "lint_report", ""))
+    if lint is not None:
+        summary = lint["summary"]
+        print(
+            f"lint: {'OK' if summary.get('ok') else 'FAIL'} "
+            f"({summary.get('active', '?')} active finding(s) over "
+            f"{summary.get('files', '?')} file(s), "
+            f"artifact {lint['path']})"
+        )
+        report["lint"] = lint
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -929,6 +1050,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="",
                    help="also write the machine-readable report to this "
                         "file")
+    p.add_argument("--lint-report", default="",
+                   help="repro.lint/1 artifact for 'check' to fold into "
+                        "its verdict (default: repro_lint.json in the "
+                        "CWD when present)")
+
+    p = sub.add_parser(
+        "lint",
+        help="source-level determinism & process-safety lint of src/repro",
+    )
+    p.add_argument("--paths", nargs="+", default=[], metavar="PATH",
+                   help="lint these files/directories instead of the "
+                        "installed repro package")
+    p.add_argument("--zone", action="append", default=[],
+                   choices=("id", "serialize", "report", "retry",
+                            "dispatch"),
+                   help="additionally apply this determinism zone to "
+                        "every linted module (repeatable; for --paths "
+                        "over loose files)")
+    p.add_argument("--baseline", default="",
+                   help=f"baseline file (default: {DEFAULT_BASELINE_NAME} "
+                        "at the repo root or CWD when present)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="grandfather every active finding into the "
+                        "baseline file (escape hatch; policy is to fix)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="show the source-rule catalogue and exit")
+    p.add_argument("--verbose", action="store_true",
+                   help="also show suppressed and baselined findings")
+    p.add_argument("--json", default="",
+                   help="write the repro.lint/1 report to this file")
 
     p = sub.add_parser("cache", help="inspect or clear a sweep result cache")
     p.add_argument("action", choices=("stats", "clear"))
@@ -970,6 +1121,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "list": cmd_list,
         "analyze": cmd_analyze,
+        "lint": cmd_lint,
         "run": cmd_run,
         "trace": cmd_trace,
         "metrics": cmd_metrics,

@@ -94,6 +94,7 @@ class ResultCache:
         entry = {
             "schema": CACHE_SCHEMA_VERSION,
             "key": key,
+            # repro-lint: allow[DET101] reason=creation stamp is envelope metadata, never key material
             "created_unix": round(time.time(), 3),
             "payload": payload,
         }

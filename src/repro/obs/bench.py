@@ -185,7 +185,8 @@ def append_bench(
             existing = [loaded]
     existing.append(envelope)
     bench_path.write_text(
-        json.dumps(existing, indent=2) + "\n", encoding="utf-8"
+        json.dumps(existing, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
     )
 
     directory = Path(history_dir) if history_dir else DEFAULT_HISTORY_DIR

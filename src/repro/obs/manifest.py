@@ -100,6 +100,7 @@ def build_manifest(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "host": socket.gethostname(),
+        # repro-lint: allow[DET101] reason=manifest metadata; config_hash excludes it
         "created_unix": round(time.time(), 3),
     }
     if wall_seconds is not None:

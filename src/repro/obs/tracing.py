@@ -151,6 +151,7 @@ class Tracer:
     def __init__(self, context: TraceContext, enabled: bool = True):
         self.context = context
         self.enabled = enabled
+        # repro-lint: allow[DET101] reason=pid labels Perfetto tracks; span ids never use it
         self.pid = os.getpid()
         self.spans: List[Span] = []
         self._stack: List[Span] = []
@@ -190,16 +191,19 @@ class Tracer:
             name=name,
             cat=cat,
             scope=scope,
+            # repro-lint: allow[DET101] reason=span timestamps are timing data, not id material
             start_unix=time.time(),
             parent_id=self._parent_id(),
             pid=self.pid,
             args=dict(args),
         )
         self._stack.append(span)
+        # repro-lint: allow[DET101] reason=duration measurement, not id material
         t0 = time.perf_counter()
         try:
             yield span
         finally:
+            # repro-lint: allow[DET101] reason=duration measurement, not id material
             span.duration = time.perf_counter() - t0
             self._stack.pop()
             self.spans.append(span)
@@ -220,6 +224,7 @@ class Tracer:
             name=name,
             cat=cat,
             scope=scope,
+            # repro-lint: allow[DET101] reason=span timestamps are timing data, not id material
             start_unix=time.time(),
             parent_id=self._parent_id(),
             pid=self.pid,

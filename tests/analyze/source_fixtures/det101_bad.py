@@ -1,0 +1,20 @@
+"""DET101 bad fixture: wall clock, pid, and unseeded RNG in an id zone."""
+
+import hashlib
+import os
+import random
+import time
+import uuid
+
+
+def cell_key(name: str) -> str:
+    material = f"{name}:{time.time()}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def span_id() -> str:
+    return f"{os.getpid()}-{uuid.uuid4()}"
+
+
+def jitter() -> float:
+    return random.random()

@@ -1,0 +1,14 @@
+"""DET101 good fixture: only seeded randomness and clock-free identity."""
+
+import hashlib
+import random
+
+
+def cell_key(name: str, seed: int) -> str:
+    material = f"{name}:{seed}"
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

@@ -1,0 +1,12 @@
+"""DET102 bad fixture: json.dump(s) without sort_keys in a serialize zone."""
+
+import json
+
+
+def write_report(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=False)

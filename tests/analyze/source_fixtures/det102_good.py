@@ -1,0 +1,17 @@
+"""DET102 good fixture: canonical key order everywhere."""
+
+import json
+
+
+def write_report(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+
+def render(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def render_options(payload: dict, **options) -> str:
+    # **kwargs is trusted: the caller may be forwarding sort_keys.
+    return json.dumps(payload, **options)

@@ -1,0 +1,22 @@
+"""DET103 bad fixture: unordered iteration feeding ordered consumers."""
+
+import hashlib
+
+TAGS = {"b", "a", "c"}
+
+
+def digest() -> str:
+    material = ",".join(TAGS)
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def totals(table: dict) -> list:
+    return [table[key] for key in table.keys()]
+
+
+def reduce_values(values) -> float:
+    seen = set(values)
+    out = 0.0
+    for value in seen:
+        out += value
+    return out

@@ -1,0 +1,26 @@
+"""DET103 good fixture: every unordered iterable goes through sorted()."""
+
+import hashlib
+
+TAGS = {"b", "a", "c"}
+
+
+def digest() -> str:
+    material = ",".join(sorted(TAGS))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def totals(table: dict) -> list:
+    return [table[key] for key in sorted(table)]
+
+
+def reduce_values(values) -> float:
+    out = 0.0
+    for value in sorted(set(values)):
+        out += value
+    return out
+
+
+def membership(values) -> set:
+    # SetComp results are unordered anyway: exempt by design.
+    return {value * 2 for value in set(values)}

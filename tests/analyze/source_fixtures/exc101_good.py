@@ -1,0 +1,22 @@
+"""EXC101 good fixture: BrokenExecutor handled before the broad net."""
+
+from concurrent.futures import BrokenExecutor
+
+
+def drain(futures):
+    out = []
+    for future in futures:
+        try:
+            out.append(future.result())
+        except BrokenExecutor:
+            raise
+        except Exception:
+            out.append(None)
+    return out
+
+
+def guarded(future):
+    try:
+        return future.result()
+    except Exception:
+        raise  # re-raising keeps the pool failure visible

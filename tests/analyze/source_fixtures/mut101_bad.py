@@ -1,0 +1,18 @@
+"""MUT101 bad fixture: worker call tree mutates module-level state."""
+
+RESULTS = []
+COUNTS = {}
+
+
+def record(item):
+    RESULTS.append(item)
+
+
+def work(item):
+    record(item)
+    COUNTS[item] = item * 2
+    return item
+
+
+def run(items, pool):
+    return list(pool.map(work, items))

@@ -1,0 +1,15 @@
+"""MUT101 good fixture: workers only touch locals; results flow back."""
+
+RESULTS = []
+
+
+def work(item):
+    local = []
+    local.append(item * 2)
+    return local
+
+
+def run(items, pool):
+    for chunk in pool.map(work, items):
+        RESULTS.extend(chunk)  # parent-side accumulation is fine
+    return RESULTS

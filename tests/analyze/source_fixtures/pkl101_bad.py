@@ -1,0 +1,23 @@
+"""PKL101 bad fixture: lambdas, closures and bound methods hit the pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Runner:
+    def step(self, item):
+        return item * 2
+
+
+def run(items):
+    def work(item):
+        return item * 2
+
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, item) for item in items]
+        futures.append(pool.submit(lambda: 0))
+        return [future.result() for future in futures]
+
+
+def run_bound(items, pool):
+    runner = Runner()
+    return list(pool.map(runner.step, items))

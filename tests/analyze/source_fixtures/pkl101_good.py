@@ -1,0 +1,17 @@
+"""PKL101 good fixture: only module-level functions cross the boundary."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def work(item):
+    return item * 2
+
+
+def run(items):
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(work, item) for item in items]
+        return [future.result() for future in futures]
+
+
+def run_map(items, pool):
+    return list(pool.map(work, items))

@@ -1,0 +1,13 @@
+"""Suppression fixture: one valid annotation, one missing its reason."""
+
+import time
+
+
+def stamped() -> float:
+    # repro-lint: allow[DET101] reason=fixture exercising valid suppression
+    return time.time()
+
+
+def unjustified() -> float:
+    # repro-lint: allow[DET101]
+    return time.time()

@@ -1,0 +1,85 @@
+"""Self-application: the linter certifies ``src/repro`` itself.
+
+This is the tentpole's tier-1 contract: ``repro lint`` over the shipped
+package reports **zero active findings against an empty baseline**.  New
+code that plants a wall clock in a cache key, forgets ``sort_keys``, or
+submits a closure to the pool fails this test before it fails anyone's
+reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analyze.source import (
+    DEFAULT_MANIFEST,
+    Baseline,
+    lint_package,
+    package_root,
+)
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "lint-baseline.json"
+
+
+class TestSelfLint:
+    def test_package_is_clean_against_empty_baseline(self):
+        baseline = Baseline.load(BASELINE_PATH)
+        report = lint_package(baseline=baseline)
+        details = "\n".join(f.render() for f in report.active)
+        assert report.active == [], f"active lint findings:\n{details}"
+        assert report.parse_errors == []
+        assert report.ok and report.exit_code == 0
+
+    def test_checked_in_baseline_is_empty_by_policy(self):
+        payload = json.loads(BASELINE_PATH.read_text())
+        assert payload["schema"] == "repro.lint-baseline/1"
+        assert payload["entries"] == []
+
+    def test_every_suppression_in_tree_has_a_reason(self):
+        report = lint_package()
+        assert report.suppressed, "expected annotated findings in the tree"
+        for finding in report.suppressed:
+            assert finding.suppress_reason.strip(), finding.render()
+
+    def test_zone_manifest_covers_the_identity_modules(self):
+        for module in (
+            "repro.exec.cells",
+            "repro.exec.cache",
+            "repro.obs.tracing",
+            "repro.obs.manifest",
+            "repro.faults.plan",
+        ):
+            assert "id" in DEFAULT_MANIFEST.zones_of(module), module
+        assert "serialize" in DEFAULT_MANIFEST.zones_of("repro.obs.bench")
+        assert "retry" in DEFAULT_MANIFEST.zones_of("repro.exec.executor")
+
+    def test_index_covers_the_whole_package(self):
+        report = lint_package()
+        py_files = [
+            p for p in package_root().rglob("*.py")
+            if "__pycache__" not in p.parts
+        ]
+        assert report.files == len(py_files)
+
+    def test_cli_self_lint_text_and_json(self, tmp_path, capsys):
+        artifact = tmp_path / "repro_lint.json"
+        assert main(["lint", "--json", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "0 active" in out and "OK" in out
+
+        payload = json.loads(artifact.read_text())
+        assert payload["schema"] == "repro.lint/1"
+        assert payload["summary"]["active"] == 0
+        assert payload["summary"]["ok"] is True
+        assert payload["meta"]["rules_run"] == [
+            "DET101", "DET102", "DET103", "EXC101", "MUT101", "PKL101",
+        ]
+
+    def test_json_artifact_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        main(["lint", "--json", str(a)])
+        main(["lint", "--json", str(b)])
+        assert a.read_text() == b.read_text()

@@ -107,6 +107,25 @@ class TestAppend:
         assert len(lines) == 2
         assert json.loads(lines[-1])["metrics"]["speedup"]["value"] == 4.4
 
+    def test_append_serializes_canonically(self, tmp_path):
+        """Regression (DET102): the BENCH file must be byte-stable.
+
+        ``append_bench`` used to write the aggregate file without
+        ``sort_keys=True`` -- insertion-order drift in the envelope dict
+        would churn the diff CI reviews.  The bytes must now equal the
+        canonical re-serialization of the parsed content.
+        """
+        bench = tmp_path / "BENCH_engine.json"
+        append_bench(
+            bench,
+            {"benchmark": "engine", "speedup": 4.0},
+            metrics={"speedup": {"value": 4.0, "direction": "higher"}},
+            history_dir=tmp_path / "history",
+        )
+        raw = bench.read_text()
+        canonical = json.dumps(json.loads(raw), indent=2, sort_keys=True)
+        assert raw == canonical + "\n"
+
     def test_append_preserves_legacy_entries(self, tmp_path):
         bench = tmp_path / "BENCH_engine.json"
         bench.write_text(json.dumps([{"speedup": 3.9}]))
