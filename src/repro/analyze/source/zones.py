@@ -105,5 +105,11 @@ DEFAULT_MANIFEST = ZoneManifest([
     ("repro.experiments.harness", ("report",)),
     # The process-pool executor: retry/backoff exception hygiene.
     ("repro.exec.executor", ("retry", "dispatch")),
+    # The fuzzer: case ids/seeds are identity material; reports, the
+    # corpus and spec JSON are diffed byte-for-byte across runs.
+    ("repro.fuzz.spec", ("id", "serialize")),
+    ("repro.fuzz.generator", ("id",)),
+    ("repro.fuzz.corpus", ("serialize",)),
+    ("repro.fuzz.runner", ("serialize",)),
 ])
 """The checked-in zoning of ``src/repro`` (see module docstring)."""

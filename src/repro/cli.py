@@ -29,6 +29,12 @@ Commands:
 * ``faults ACTION [APP ...]``       -- fault injection: validate plans,
                                        run degraded machines, A/B the
                                        fault-aware vs oblivious mapping
+* ``fuzz [--seed --iterations]``    -- differential fuzzing: random
+                                       configs/workloads/faults through
+                                       the fast-vs-reference and
+                                       serial-vs-parallel oracles plus
+                                       metamorphic invariants; failures
+                                       shrink to a replayable corpus
 * ``figure NAME [...]``             -- regenerate one paper figure's table
 * ``properties``                    -- Table 3 (static columns)
 
@@ -54,6 +60,8 @@ Examples::
     python -m repro profile mxm --workers 2
     python -m repro heatmap mxm --metric mc --mapping la
     python -m repro figure fig09 --apps mxm,nbf --scale 0.5
+    python -m repro fuzz --seed 7 --iterations 25 --json fuzz.json
+    python -m repro fuzz --time-budget 60 --corpus-dir tests/fuzz/corpus
 """
 
 from __future__ import annotations
@@ -869,6 +877,37 @@ def cmd_faults(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        time_budget=args.time_budget,
+        shrink_failures=args.shrink,
+        corpus_dir=args.corpus_dir or None,
+        progress=print,
+    )
+    divergences = report["divergences"]
+    status = "ok" if report["ok"] else f"{len(divergences)} divergence(s)"
+    budget = " (time budget exhausted)" if report["budget_exhausted"] else ""
+    print(f"fuzz: seed={report['seed']} cases={report['cases_run']}/"
+          f"{report['iterations_requested']}{budget} -> {status}")
+    for div in divergences:
+        shrunk = div.get("shrunk")
+        case_id = (shrunk or div)["case_id"]
+        detail = (shrunk or div)["detail"]
+        print(f"  [{div['check']}] {case_id}: {detail}")
+        if "corpus_path" in div:
+            print(f"    corpus entry: {div['corpus_path']}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"JSON report -> {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def cmd_figure(args) -> int:
     func = FIGURES.get(args.name)
     if func is None:
@@ -1109,6 +1148,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", default="",
                    help="write per-app diagnostics to this JSON file")
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random configs through the "
+             "fast/reference and serial/parallel oracles plus "
+             "metamorphic invariants; failures shrink to a corpus",
+    )
+    p.add_argument("--seed", type=int, default=7,
+                   help="master seed; each case derives from (seed, index)")
+    p.add_argument("--iterations", type=int, default=25,
+                   help="number of cases to generate and check")
+    p.add_argument("--time-budget", type=float, default=None, metavar="SEC",
+                   help="stop generating new cases after this many seconds "
+                        "(the in-flight case always completes)")
+    p.add_argument("--shrink", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="minimize failing cases before reporting/filing")
+    p.add_argument("--corpus-dir", default="",
+                   help="file shrunk divergences as replayable JSON "
+                        "entries in this directory")
+    p.add_argument("--json", default="",
+                   help="write the repro.fuzz/1 report to this file")
+
     p = sub.add_parser("figure", help="regenerate one figure's data")
     p.add_argument("name", choices=sorted(FIGURES))
     p.add_argument("--apps", default="")
@@ -1131,6 +1192,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "profile": cmd_profile,
         "heatmap": cmd_heatmap,
         "faults": cmd_faults,
+        "fuzz": cmd_fuzz,
         "figure": cmd_figure,
         "properties": cmd_properties,
     }

@@ -1,0 +1,52 @@
+"""Differential fuzzing & metamorphic-invariant harness (``repro fuzz``).
+
+Randomized end-to-end oracle over the simulator's equivalence claims:
+seed-deterministic generation of configs, synthetic workloads and fault
+plans (:mod:`repro.fuzz.generator`), differential oracles over the
+fast/reference engines and the serial/parallel executor
+(:mod:`repro.fuzz.oracles`), metamorphic invariants
+(:mod:`repro.fuzz.invariants`), greedy shrinking of failures
+(:mod:`repro.fuzz.shrinker`) and a replayable JSON corpus
+(:mod:`repro.fuzz.corpus`).  See ``docs/fuzzing.md``.
+"""
+
+from .corpus import CORPUS_SCHEMA, CorpusEntry, CorpusStore
+from .generator import FAULT_PROBABILITY, generate_case, generate_cases
+from .invariants import (
+    check_fault_aware_latency,
+    check_rotation_symmetry,
+    check_telemetry_transparency,
+)
+from .oracles import check_engine_differential, check_sweep_differential
+from .runner import CHECK_MAP, CHECKS, REPORT_SCHEMA, resolve_checks, run_fuzz
+from .shrinker import DEFAULT_MAX_EVALS, ShrinkResult, shrink
+from .spec import SPEC_SCHEMA, WORKLOAD_SPEC, FuzzCase, num_references
+from .synth import PATTERNS, build_fuzz_workload
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CHECK_MAP",
+    "CHECKS",
+    "CorpusEntry",
+    "CorpusStore",
+    "DEFAULT_MAX_EVALS",
+    "FAULT_PROBABILITY",
+    "FuzzCase",
+    "PATTERNS",
+    "REPORT_SCHEMA",
+    "SPEC_SCHEMA",
+    "ShrinkResult",
+    "WORKLOAD_SPEC",
+    "build_fuzz_workload",
+    "check_engine_differential",
+    "check_fault_aware_latency",
+    "check_rotation_symmetry",
+    "check_sweep_differential",
+    "check_telemetry_transparency",
+    "generate_case",
+    "generate_cases",
+    "num_references",
+    "resolve_checks",
+    "run_fuzz",
+    "shrink",
+]

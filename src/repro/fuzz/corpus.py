@@ -1,0 +1,84 @@
+"""Replayable corpus of minimized failing cases.
+
+Every divergence the fuzzer finds (after shrinking) is filed as one JSON
+document under the case's content-addressed id, so a failure found on any
+machine replays anywhere: ``tests/fuzz/test_corpus_replay.py`` re-runs
+every checked-in entry through its original check on every tier-1 run.
+Like the lint baseline, the checked-in corpus is *empty on a healthy
+HEAD* -- entries are added when a bug ships, and deleted when it is
+fixed and covered by a regular regression test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .spec import FuzzCase
+
+CORPUS_SCHEMA = "repro.fuzz.corpus/1"
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One minimized repro: the case, the check it fails, the detail."""
+
+    case: FuzzCase
+    check: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": CORPUS_SCHEMA,
+            "case": self.case.to_dict(),
+            "check": self.check,
+            "detail": self.detail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CorpusEntry":
+        schema = data.get("schema")
+        if schema != CORPUS_SCHEMA:
+            raise ValueError(f"unknown corpus schema {schema!r}")
+        return cls(
+            case=FuzzCase.from_dict(data["case"]),
+            check=str(data["check"]),
+            detail=str(data.get("detail", "")),
+        )
+
+
+class CorpusStore:
+    """Directory of ``<case_id>.json`` corpus entries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def path_for(self, entry: CorpusEntry) -> Path:
+        return self.root / f"{entry.case.case_id()}.json"
+
+    def save(self, entry: CorpusEntry) -> Path:
+        """Write one entry (idempotent: the name is the case digest)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        target = self.path_for(entry)
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(entry.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    def load(self) -> List[CorpusEntry]:
+        """All entries, in sorted-filename (= case-digest) order."""
+        if not self.root.is_dir():
+            return []
+        entries: List[CorpusEntry] = []
+        for path in sorted(self.root.glob("*.json")):
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            entries.append(CorpusEntry.from_dict(data))
+        return entries
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return len(list(self.root.glob("*.json")))

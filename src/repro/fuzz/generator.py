@@ -1,0 +1,150 @@
+"""Seed-deterministic fuzz case generation.
+
+Each case derives from ``random.Random(f"repro.fuzz:{seed}:{index}")`` --
+string seeding hashes through SHA-512, so the stream is stable across
+platforms and python builds, and every (seed, index) pair owns an
+independent stream: case k never depends on how many cases preceded it.
+
+The generator only emits *legal* cases: region sizes divide the mesh,
+bank faults require a shared LLC, link faults connect mesh neighbours,
+and every candidate fault plan is validated against the concrete mesh
+(the FLT001-003 gate) before it is attached -- an illegal draw degrades
+to a healthy machine rather than a crashing case.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from repro.faults import FaultPlan
+
+from .spec import FuzzCase
+
+# Weighted draw tables: repetition = probability mass.  The common
+# configurations (analytic network, shared LLC, corner MCs) stay the
+# bulk of the stream so most cycles go to the engines' hot paths, with
+# a steady minority exercising every alternate knob.
+_MESHES: Tuple[Tuple[int, int], ...] = (
+    (4, 4), (4, 4), (6, 6), (6, 6), (6, 4), (4, 6), (8, 8),
+)
+_LLC = ("shared", "shared", "shared", "private")
+_PLACEMENT = ("corners", "corners", "corners", "edge_middles")
+_NETWORK = ("analytic", "analytic", "analytic", "wormhole", "ideal")
+_PAGE_BYTES = (2048, 2048, 1024, 4096)
+_L2_SIZE = (16384, 16384, 8192, 32768)
+_GRANULARITY = ("page", "page", "page", "cache_line")
+_DRAM = ("ddr3", "ddr3", "ddr3", "ddr4")
+_SET_FRACTION = (0.005, 0.01, 0.01, 0.02)
+_MAPPING = ("default", "la", "la")
+_CME_ACCURACY = (0.75, 0.85, 0.85, 1.0)
+_ELEM_BYTES = (32, 32, 64, 128)
+_PATTERNS = (
+    "stream", "stream", "stencil2d", "mxm", "gather", "gather", "spmv",
+    "bucketed",
+)
+
+FAULT_PROBABILITY = 0.4
+"""Fraction of cases carrying a single-fault plan."""
+
+
+def _pick_region(rng: random.Random, extent: int) -> int:
+    """A region edge that divides ``extent`` (1x1 regions allowed)."""
+    divisors = [d for d in (1, 2, 3, 4) if extent % d == 0]
+    return rng.choice(divisors)
+
+
+def _pick_workload(rng: random.Random) -> List[Tuple[str, int | str]]:
+    pattern = rng.choice(_PATTERNS)
+    args: List[Tuple[str, int | str]] = [("pattern", pattern)]
+    if pattern == "stream":
+        args.append(("n", rng.randrange(192, 769, 32)))
+        args.append(("refs", rng.randint(1, 3)))
+        args.append(("nests", rng.randint(1, 2)))
+    elif pattern == "stencil2d":
+        args.append(("n", rng.randint(16, 30)))
+        args.append(("nests", rng.randint(1, 2)))
+    elif pattern == "mxm":
+        args.append(("n", rng.randint(18, 32)))
+        args.append(("nests", rng.randint(1, 2)))
+    elif pattern == "gather":
+        args.append(("n", rng.randrange(400, 1201, 50)))
+        args.append(("refs", rng.randint(1, 2)))
+        args.append(("targets", rng.choice((256, 512, 768))))
+    elif pattern == "spmv":
+        args.append(("n", rng.randrange(256, 769, 32)))
+        args.append(("targets", rng.choice((256, 512))))
+    else:  # bucketed
+        args.append(("n", rng.randrange(400, 1201, 50)))
+        args.append(("targets", rng.choice((256, 512))))
+    args.append(("elem_bytes", rng.choice(_ELEM_BYTES)))
+    args.append(("compute", rng.randint(2, 6)))
+    return args
+
+
+def _pick_fault(
+    rng: random.Random, width: int, height: int, llc: str
+) -> Optional[str]:
+    """One legal single-fault spec for a ``width`` x ``height`` mesh."""
+    kinds = ["link", "mc", "router"]
+    if llc == "shared":
+        kinds.append("bank")
+    kind = rng.choice(kinds)
+    if kind == "link":
+        x, y = rng.randrange(width), rng.randrange(height)
+        steps = [(dx, dy) for dx, dy in ((0, -1), (1, 0), (0, 1), (-1, 0))
+                 if 0 <= x + dx < width and 0 <= y + dy < height]
+        dx, dy = rng.choice(steps)
+        effect = rng.choice(("down", "throttle=0.5", "throttle=0.25"))
+        return f"link:{x},{y}->{x + dx},{y + dy}:{effect}"
+    if kind == "mc":
+        index = rng.randrange(4)
+        effect = rng.choice(("offline", "throttle=0.5"))
+        return f"mc:{index}:{effect}"
+    if kind == "router":
+        x, y = rng.randrange(width), rng.randrange(height)
+        extra = rng.choice((4, 8, 16))
+        return f"router:{x},{y}:hotspot=+{extra}cyc"
+    bank = rng.randrange(width * height)
+    return f"bank:{bank}:offline"
+
+
+def generate_case(seed: int, index: int) -> FuzzCase:
+    """The ``index``-th case of stream ``seed`` (pure function of both)."""
+    rng = random.Random(f"repro.fuzz:{seed}:{index}")
+    width, height = rng.choice(_MESHES)
+    llc = rng.choice(_LLC)
+    case = FuzzCase(
+        seed=seed,
+        index=index,
+        mesh_width=width,
+        mesh_height=height,
+        region_w=_pick_region(rng, width),
+        region_h=_pick_region(rng, height),
+        llc=llc,
+        mc_placement=rng.choice(_PLACEMENT),
+        network=rng.choice(_NETWORK),
+        page_bytes=rng.choice(_PAGE_BYTES),
+        l2_size_bytes=rng.choice(_L2_SIZE),
+        mc_granularity=rng.choice(_GRANULARITY),
+        bank_granularity=rng.choice(_GRANULARITY),
+        dram=rng.choice(_DRAM),
+        iteration_set_fraction=rng.choice(_SET_FRACTION),
+        mapping=rng.choice(_MAPPING),
+        trips=rng.randint(3, 5),
+        cme_accuracy=rng.choice(_CME_ACCURACY),
+        workload=tuple(_pick_workload(rng)),
+    )
+    if rng.random() < FAULT_PROBABILITY:
+        spec = _pick_fault(rng, width, height, llc)
+        if spec is not None:
+            plan = FaultPlan.parse((spec,))
+            mesh = case.build_config().build_mesh()
+            if not plan.validate_against(mesh):
+                case = case.with_updates(faults=plan.to_specs())
+    return case
+
+
+def generate_cases(seed: int, count: int) -> List[FuzzCase]:
+    """The first ``count`` cases of stream ``seed``."""
+    return [generate_case(seed, index) for index in range(count)]

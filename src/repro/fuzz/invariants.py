@@ -1,0 +1,136 @@
+"""Metamorphic invariants: properties every case must satisfy.
+
+Unlike the differential oracles (two executions compared byte-for-byte),
+a metamorphic check transforms the case and asserts a known relation
+between the original and transformed outcomes:
+
+* ``mesh-rotation-symmetry`` -- rotating the mesh 180 degrees
+  (``rho(x, y) = (W-1-x, H-1-y)``) preserves every node-pair Manhattan
+  distance, and -- for corner MC placement, which rho maps onto itself
+  with the MC permutation 0<->2, 1<->3 -- every traffic-weighted
+  MC-distance cost the mapper optimizes.  Edge-middle placement is *not*
+  rho-invariant on even meshes (``rho(W//2, 0)`` is not an MC position),
+  so the MC half of the check applies to corners only.
+* ``fault-aware-latency`` -- on a degraded machine, the fault-aware
+  location-aware mapping must not produce a worse average NoC latency
+  than the fault-oblivious one (the PR 6 selection theorem: candidates
+  only deviate from the oblivious choice under a predicted-win margin).
+* ``telemetry-transparency`` -- attaching a full-verbosity telemetry hub
+  must not change a single RunStats field: observation may never perturb
+  the simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.experiments.harness import run_workload
+from repro.obs import EventStream, Telemetry
+
+from .spec import FuzzCase
+
+_ROTATED_MC = (2, 3, 0, 1)
+"""Corner MC index permutation under a 180-degree rotation
+(top-left <-> bottom-right, top-right <-> bottom-left)."""
+
+FAULT_LATENCY_SLACK = 1e-6
+"""Relative tolerance on the fault-aware <= fault-oblivious comparison
+(float noise only; the selection margin itself guarantees the inequality)."""
+
+
+def check_rotation_symmetry(case: FuzzCase) -> Optional[str]:
+    """180-degree mesh rotation preserves distances and mapping leg costs."""
+    mesh = case.build_config().build_mesh()
+    width, height = mesh.width, mesh.height
+
+    def rotated(node: int) -> int:
+        x, y = mesh.coord(node)
+        return mesh.node_id((width - 1 - x, height - 1 - y))
+
+    for a in range(mesh.num_nodes):
+        for b in range(a + 1, mesh.num_nodes):
+            direct = mesh.node_distance(a, b)
+            image = mesh.node_distance(rotated(a), rotated(b))
+            if direct != image:
+                return (
+                    f"rotation broke node-pair distance: d({a},{b})={direct} "
+                    f"but d(rho({a}),rho({b}))={image}"
+                )
+
+    if case.mc_placement != "corners":
+        return None
+    # Deterministic per-node traffic weights over the 4 MCs; the weighted
+    # leg cost (what Mapper._leg_cost minimizes) must be rotation-invariant
+    # once the MC indices are permuted along with the nodes.
+    for node in range(mesh.num_nodes):
+        weights = [1 + ((node + mc) % 5) for mc in range(4)]
+        cost = sum(
+            weights[mc] * mesh.distance_to_mc(node, mc) for mc in range(4)
+        )
+        image_cost = sum(
+            weights[mc] * mesh.distance_to_mc(rotated(node), _ROTATED_MC[mc])
+            for mc in range(4)
+        )
+        if cost != image_cost:
+            return (
+                f"rotation broke MC leg cost at node {node}: "
+                f"{cost} vs {image_cost}"
+            )
+    return None
+
+
+def check_fault_aware_latency(case: FuzzCase) -> Optional[str]:
+    """Fault-aware mapping never worse than oblivious on NoC latency.
+
+    Vacuously passes on healthy machines and on the ideal network (which
+    has no latency to compare).
+    """
+    plan = case.fault_plan()
+    if plan is None or case.network == "ideal":
+        return None
+    config = case.build_config()
+    workload = case.build_workload()
+
+    def latency(fault_aware: bool) -> float:
+        result = run_workload(
+            workload, config, mapping="la", trips=case.trips,
+            cme_accuracy=case.cme_accuracy, seed=case.seed,
+            fault_plan=plan, fault_aware=fault_aware,
+        )
+        return result.stats.avg_network_latency
+
+    aware = latency(True)
+    oblivious = latency(False)
+    if aware > oblivious * (1.0 + FAULT_LATENCY_SLACK):
+        return (
+            f"fault-aware mapping degraded NoC latency: aware={aware:.6f} "
+            f"oblivious={oblivious:.6f} under plan {list(case.faults)}"
+        )
+    return None
+
+
+def check_telemetry_transparency(case: FuzzCase) -> Optional[str]:
+    """A debug-level telemetry hub must not change any RunStats field."""
+    config = case.build_config()
+    workload = case.build_workload()
+
+    def stats(telemetry: Optional[Telemetry]) -> dict:
+        result = run_workload(
+            workload, config, mapping=case.mapping, trips=case.trips,
+            cme_accuracy=case.cme_accuracy, seed=case.seed,
+            telemetry=telemetry, fault_plan=case.fault_plan(),
+            fault_aware=True,
+        )
+        return dataclasses.asdict(result.stats)
+
+    plain = stats(None)
+    observed = stats(Telemetry(events=EventStream(level="debug")))
+    if plain != observed:
+        diffs = [
+            f"{name}: plain={plain[name]} observed={observed[name]}"
+            for name in sorted(plain)
+            if plain[name] != observed[name]
+        ]
+        return "telemetry changed stats (" + "; ".join(diffs) + ")"
+    return None

@@ -1,0 +1,161 @@
+"""The fuzz loop: generate -> check -> shrink -> file.
+
+``run_fuzz`` drives the whole pipeline and returns a JSON-ready report.
+The report is a pure function of ``(seed, iterations, checks)`` -- it
+carries no wall-clock times, hostnames or pids -- so two runs of the same
+seed and iteration count produce byte-identical documents (the CI smoke
+job and the acceptance criteria diff them).  A ``time_budget`` bounds the
+*number of cases actually run* (recorded in the report) without leaking
+elapsed time into it.
+
+Per case, checks run in registry order and stop at the first failure:
+one divergence per case keeps reports small and shrinking focused; the
+next case still runs, so one bug does not mask another family.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .corpus import CorpusEntry, CorpusStore
+from .generator import generate_case
+from .invariants import (
+    check_fault_aware_latency,
+    check_rotation_symmetry,
+    check_telemetry_transparency,
+)
+from .oracles import check_engine_differential, check_sweep_differential
+from .shrinker import DEFAULT_MAX_EVALS, shrink
+from .spec import FuzzCase
+
+REPORT_SCHEMA = "repro.fuzz/1"
+
+CheckFn = Callable[[FuzzCase], Optional[str]]
+
+CHECKS: Tuple[Tuple[str, CheckFn], ...] = (
+    ("engine-differential", check_engine_differential),
+    ("sweep-differential", check_sweep_differential),
+    ("telemetry-transparency", check_telemetry_transparency),
+    ("mesh-rotation-symmetry", check_rotation_symmetry),
+    ("fault-aware-latency", check_fault_aware_latency),
+)
+"""The full registry, differential oracles first (ordered, so reports and
+stop-at-first-failure behaviour are deterministic)."""
+
+CHECK_MAP: Dict[str, CheckFn] = {name: fn for name, fn in CHECKS}
+
+
+def resolve_checks(
+    names: Optional[Sequence[str]],
+) -> Tuple[Tuple[str, CheckFn], ...]:
+    """Subset the registry by name, preserving registry order."""
+    if names is None:
+        return CHECKS
+    wanted = list(names)
+    unknown = [name for name in wanted if name not in CHECK_MAP]
+    if unknown:
+        known = ", ".join(name for name, _ in CHECKS)
+        raise ValueError(f"unknown check(s) {unknown}; known: {known}")
+    return tuple(
+        (name, fn) for name, fn in CHECKS if name in wanted
+    )
+
+
+def run_fuzz(
+    seed: int = 7,
+    iterations: int = 25,
+    time_budget: Optional[float] = None,
+    shrink_failures: bool = True,
+    corpus_dir: Optional[str] = None,
+    checks: Optional[Sequence[str]] = None,
+    max_shrink_evals: int = DEFAULT_MAX_EVALS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the differential fuzzer; returns the ``repro.fuzz/1`` report.
+
+    ``time_budget`` (seconds) stops generating new cases once exceeded --
+    the case being checked always completes.  ``corpus_dir`` files every
+    (shrunk) divergence as a replayable corpus entry.  ``checks`` selects
+    a named subset of the registry (default: all).
+    """
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    active = resolve_checks(checks)
+    store = CorpusStore(corpus_dir) if corpus_dir else None
+    started = time.monotonic()
+    cases: List[Dict[str, Any]] = []
+    divergences: List[Dict[str, Any]] = []
+    budget_exhausted = False
+    for index in range(iterations):
+        if time_budget is not None and (
+            time.monotonic() - started >= time_budget
+        ):
+            budget_exhausted = True
+            break
+        case = generate_case(seed, index)
+        if progress is not None:
+            progress(
+                f"case {index}: {case.case_id()} "
+                f"({dict(case.workload).get('pattern')}, "
+                f"{case.mesh_width}x{case.mesh_height}, "
+                f"{len(case.faults)} fault(s))"
+            )
+        record: Dict[str, Any] = {
+            "index": index,
+            "case_id": case.case_id(),
+            "result": "ok",
+        }
+        for name, check in active:
+            detail = check(case)
+            if detail is None:
+                continue
+            record["result"] = "divergence"
+            record["check"] = name
+            divergence: Dict[str, Any] = {
+                "index": index,
+                "check": name,
+                "detail": detail,
+                "case": case.to_dict(),
+                "case_id": case.case_id(),
+            }
+            if progress is not None:
+                progress(f"case {index}: DIVERGENCE in {name}: {detail}")
+            final_case, final_detail = case, detail
+            if shrink_failures:
+                result = shrink(case, check, detail,
+                                max_evals=max_shrink_evals)
+                final_case, final_detail = result.case, result.detail
+                divergence["shrunk"] = {
+                    "case": result.case.to_dict(),
+                    "case_id": result.case.case_id(),
+                    "detail": result.detail,
+                    "evals": result.evals,
+                    "improved": result.improved,
+                }
+                if progress is not None:
+                    progress(
+                        f"case {index}: shrunk to {result.case.case_id()} "
+                        f"in {result.evals} eval(s)"
+                    )
+            if store is not None:
+                entry = CorpusEntry(
+                    case=final_case, check=name, detail=final_detail
+                )
+                path = store.save(entry)
+                divergence["corpus_path"] = path.name
+            divergences.append(divergence)
+            break  # one divergence per case; move on to the next case
+        cases.append(record)
+    return {
+        "schema": REPORT_SCHEMA,
+        "seed": seed,
+        "iterations_requested": iterations,
+        "cases_run": len(cases),
+        "budget_exhausted": budget_exhausted,
+        "checks": [name for name, _ in active],
+        "shrink": shrink_failures,
+        "cases": cases,
+        "divergences": divergences,
+        "ok": not divergences,
+    }

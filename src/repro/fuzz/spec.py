@@ -1,0 +1,207 @@
+"""Fuzz case specs: one generated experiment, serializable and replayable.
+
+A :class:`FuzzCase` pins everything one differential-fuzzing iteration
+depends on: the full machine configuration (as plain strings/ints, so a
+spec survives JSON round-trips without importing enum machinery), the
+synthetic workload knobs forwarded to
+:func:`repro.fuzz.synth.build_fuzz_workload`, the optional fault plan
+(stored canonicalized, exactly like :class:`repro.exec.SweepCell`), and
+the run policy (mapping, trips, estimator accuracy, seed).
+
+The JSON form is the spec's identity: ``to_json()`` serializes with
+``sort_keys=True`` and ``case_id()`` digests those bytes, so equal cases
+hash equal across processes, and the corpus can file a minimized repro
+under a stable name.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.cache.snuca import LLCOrganization
+from repro.faults import FaultPlan
+from repro.memory.distribution import Granularity
+from repro.memory.dram import DDR3_1333, DDR4_2400
+from repro.noc.topology import MCPlacement
+from repro.sim.config import NetworkModel, SystemConfig
+from repro.workloads.base import Workload
+
+SPEC_SCHEMA = "repro.fuzz.case/1"
+"""Schema tag embedded in every serialized case."""
+
+WORKLOAD_SPEC = "repro.fuzz.synth:build_fuzz_workload"
+"""The ``module:factory`` spec sweep cells use to rebuild the workload."""
+
+_DRAM = {"ddr3": DDR3_1333, "ddr4": DDR4_2400}
+
+ScalarArg = Union[str, int, float]
+KWPairs = Tuple[Tuple[str, ScalarArg], ...]
+
+
+def _freeze_workload(args: Any) -> KWPairs:
+    """Normalize workload kwargs to a sorted tuple of scalar pairs."""
+    if not args:
+        return ()
+    if isinstance(args, Mapping):
+        items = [(str(k), v) for k, v in args.items()]
+    else:
+        items = [(str(k), v) for k, v in args]
+    for name, value in items:
+        if not isinstance(value, (str, int, float)):
+            raise ValueError(
+                f"workload arg {name!r} must be a scalar, got {type(value)}"
+            )
+    return tuple(sorted(items))
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One generated (config, workload, faults, policy) experiment."""
+
+    seed: int
+    index: int
+    # Machine configuration (plain JSON-able spellings).
+    mesh_width: int
+    mesh_height: int
+    region_w: int
+    region_h: int
+    llc: str                     # "shared" | "private"
+    mc_placement: str            # "corners" | "edge_middles"
+    network: str                 # "analytic" | "wormhole" | "ideal"
+    page_bytes: int
+    l2_size_bytes: int
+    mc_granularity: str          # "page" | "cache_line"
+    bank_granularity: str        # "page" | "cache_line"
+    dram: str                    # "ddr3" | "ddr4"
+    iteration_set_fraction: float
+    # Run policy.
+    mapping: str                 # "default" | "la"
+    trips: int
+    cme_accuracy: float
+    # Synthetic workload knobs (forwarded to build_fuzz_workload).
+    workload: KWPairs = ()
+    # Canonical fault specs (empty = healthy machine).
+    faults: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workload", _freeze_workload(self.workload))
+        if self.faults:
+            object.__setattr__(
+                self, "faults", FaultPlan.parse(self.faults).to_specs()
+            )
+        else:
+            object.__setattr__(self, "faults", ())
+        if self.llc not in ("shared", "private"):
+            raise ValueError(f"unknown llc organization {self.llc!r}")
+        if self.dram not in _DRAM:
+            raise ValueError(f"unknown dram generation {self.dram!r}")
+        if self.mapping not in ("default", "la"):
+            raise ValueError(f"fuzz mapping must be default|la, got {self.mapping!r}")
+
+    # -- serialization -----------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; ``from_dict`` inverts it exactly."""
+        payload: Dict[str, Any] = {"schema": SPEC_SCHEMA}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "workload":
+                payload[f.name] = {name: val for name, val in value}
+            elif f.name == "faults":
+                payload[f.name] = list(value)
+            else:
+                payload[f.name] = value
+        return payload
+
+    def to_json(self) -> str:
+        """Canonical serialized form (sorted keys); the case's identity."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FuzzCase":
+        schema = data.get("schema", SPEC_SCHEMA)
+        if schema != SPEC_SCHEMA:
+            raise ValueError(f"unknown fuzz case schema {schema!r}")
+        kwargs: Dict[str, Any] = {}
+        for f in fields(cls):
+            if f.name not in data:
+                raise ValueError(f"fuzz case missing field {f.name!r}")
+            value = data[f.name]
+            if f.name == "faults":
+                value = tuple(value)
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FuzzCase":
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ValueError("fuzz case JSON must be an object")
+        return cls.from_dict(data)
+
+    def case_id(self) -> str:
+        """Stable short digest of the canonical JSON form."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()[:16]
+
+    def with_updates(self, **changes: Any) -> "FuzzCase":
+        """A copy with some fields replaced (the shrinker's edit step)."""
+        return replace(self, **changes)
+
+    # -- materialization ---------------------------------------------------
+    def build_config(self) -> SystemConfig:
+        """The :class:`SystemConfig` this case describes (validated)."""
+        return SystemConfig(
+            mesh_width=self.mesh_width,
+            mesh_height=self.mesh_height,
+            region_w=self.region_w,
+            region_h=self.region_h,
+            mc_placement=MCPlacement(self.mc_placement),
+            llc_organization=LLCOrganization(self.llc),
+            network_model=NetworkModel(self.network),
+            page_bytes=self.page_bytes,
+            l2_size_bytes=self.l2_size_bytes,
+            mc_granularity=Granularity(self.mc_granularity),
+            bank_granularity=Granularity(self.bank_granularity),
+            dram=_DRAM[self.dram],
+            iteration_set_fraction=self.iteration_set_fraction,
+        )
+
+    def fault_plan(self) -> Optional[FaultPlan]:
+        """The case's fault plan, or ``None`` for a healthy machine."""
+        if not self.faults:
+            return None
+        return FaultPlan.parse(self.faults)
+
+    def workload_args(self) -> Dict[str, ScalarArg]:
+        """The kwargs :data:`WORKLOAD_SPEC` is called with."""
+        return {name: value for name, value in self.workload}
+
+    def build_workload(self) -> Workload:
+        """Materialize the synthetic workload (same path the executor uses)."""
+        from repro.exec.cells import resolve_workload
+
+        return resolve_workload(WORKLOAD_SPEC, self.workload_args())
+
+    def validation_problems(self) -> Tuple[str, ...]:
+        """Mesh-dependent legality problems of the fault plan (empty = ok).
+
+        ``build_config`` already rejects illegal machine geometry by
+        raising; this covers the cross-field constraint a frozen dataclass
+        cannot: fault specs must name resources the configured mesh has.
+        """
+        plan = self.fault_plan()
+        if plan is None:
+            return ()
+        mesh = self.build_config().build_mesh()
+        return tuple(plan.validate_against(mesh))
+
+
+def num_references(workload: Workload) -> int:
+    """Total array references across a workload's loop nests.
+
+    The shrinker's target metric: a minimized engine-divergence repro
+    should be a couple of references in one nest, not a stencil.
+    """
+    return sum(len(nest.references) for nest in workload.program.nests)

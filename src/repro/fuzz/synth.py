@@ -1,0 +1,280 @@
+"""Synthetic fuzz workloads: parameterized access-pattern archetypes.
+
+:func:`build_fuzz_workload` is the single ``module:factory`` entry point
+fuzz cases (and their sweep cells) resolve -- it must stay a module-level
+function with scalar-only kwargs so cells stay picklable and workers can
+rebuild the workload by import (see :func:`repro.exec.cells.resolve_workload`).
+
+Each pattern reproduces one access-pattern class from the bundled suite
+(:mod:`repro.workloads`), shrunk to fuzzing size: dense streaming, 2D
+stencils, matrix products, clustered neighbor-list gathers, banded SpMV
+walks and bucketed scatters.  Index-array contents derive only from the
+program's ``seed`` (the harness seeds ``numpy.random.default_rng(seed)``
+at instantiation), so a case replays byte-identically anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.ir.arrays import ArrayDecl, declare
+from repro.ir.builder import nest_builder
+from repro.ir.loops import LoopNest, Program
+from repro.ir.refs import gather, scatter
+from repro.ir.symbolic import Idx, Param
+from repro.workloads.base import (
+    Workload,
+    banded_columns,
+    bucketed_keys,
+    clustered_indices,
+)
+
+I, J = Idx("i"), Idx("j")
+N, P, A = Param("N"), Param("P"), Param("A")
+
+PATTERNS: Tuple[str, ...] = (
+    "stream", "stencil2d", "mxm", "gather", "spmv", "bucketed",
+)
+"""Recognized access-pattern archetypes, regular first."""
+
+MIN_N = 64
+"""Floor the shrinker may not go below (runs must stay non-trivial)."""
+
+IndexBuilder = Callable[[Mapping[str, int], np.random.Generator], np.ndarray]
+
+
+def build_fuzz_workload(
+    pattern: str,
+    n: int,
+    elem_bytes: int = 32,
+    refs: int = 1,
+    nests: int = 1,
+    compute: int = 4,
+    targets: int = 256,
+    seed: int = 7,
+) -> Workload:
+    """Build one synthetic workload.
+
+    ``pattern`` selects the archetype; ``n`` is its primary extent
+    (iterations for 1D patterns, side length for 2D ones); ``refs`` adds
+    extra read references per iteration (>= 1); ``nests`` duplicates the
+    body as a second coupled nest (1 or 2); ``targets`` sizes the
+    indirection target arrays of the irregular patterns; ``seed`` fixes
+    index-array contents.  All arguments are scalars on purpose: this
+    factory is resolved by name across process boundaries.
+    """
+    if pattern not in PATTERNS:
+        raise ValueError(f"unknown fuzz pattern {pattern!r}; one of {PATTERNS}")
+    if n < MIN_N and pattern in ("stream", "gather", "spmv", "bucketed"):
+        raise ValueError(f"pattern {pattern!r} needs n >= {MIN_N}, got {n}")
+    if n < 8 and pattern in ("stencil2d", "mxm"):
+        raise ValueError(f"pattern {pattern!r} needs n >= 8, got {n}")
+    refs = max(1, min(int(refs), 4))
+    nests = max(1, min(int(nests), 2))
+    compute = max(1, min(int(compute), 8))
+    targets = max(MIN_N, int(targets))
+    builder = _BUILDERS[pattern]
+    program = builder(int(n), int(elem_bytes), refs, nests, compute,
+                      targets, int(seed))
+    return Workload(
+        name=f"fuzz-{pattern}",
+        program=program,
+        regular=program.is_regular,
+        trips=3,
+        description=f"synthetic fuzz workload ({pattern}, n={n})",
+    )
+
+
+def _stream(n: int, elem_bytes: int, refs: int, nests: int, compute: int,
+            targets: int, seed: int) -> Program:
+    """1D streaming: reads march ahead of a streamed write."""
+    a = declare("A", N + refs, elem_bytes=elem_bytes)
+    b = declare("B", N, elem_bytes=elem_bytes)
+    body = nest_builder("fuzz.stream").loop("i", 0, N)
+    for r in range(refs):
+        body = body.reads(a(I + r))
+    first = body.writes(b(I)).compute(compute).build()
+    built: List[LoopNest] = [first]
+    if nests > 1:
+        built.append(
+            nest_builder("fuzz.stream2")
+            .loop("i", 0, N)
+            .reads(b(I))
+            .writes(a(I))
+            .compute(compute)
+            .build()
+        )
+    return Program("fuzz-stream", tuple(built), default_params={"N": n})
+
+
+def _stencil2d(n: int, elem_bytes: int, refs: int, nests: int, compute: int,
+               targets: int, seed: int) -> Program:
+    """5-point 2D Jacobi sweep (plus the reverse half-step)."""
+    a = declare("A", N, N, elem_bytes=elem_bytes)
+    b = declare("B", N, N, elem_bytes=elem_bytes)
+
+    def sweep(name: str, src: ArrayDecl, dst: ArrayDecl) -> LoopNest:
+        return (
+            nest_builder(name)
+            .loop("i", 1, N - 1)
+            .loop("j", 1, N - 1)
+            .reads(src(I, J), src(I - 1, J), src(I + 1, J),
+                   src(I, J - 1), src(I, J + 1))
+            .writes(dst(I, J))
+            .compute(compute)
+            .build()
+        )
+
+    built: List[LoopNest] = [sweep("fuzz.stencil.fwd", a, b)]
+    if nests > 1:
+        built.append(sweep("fuzz.stencil.bwd", b, a))
+    return Program("fuzz-stencil2d", tuple(built), default_params={"N": n})
+
+
+def _mxm(n: int, elem_bytes: int, refs: int, nests: int, compute: int,
+         targets: int, seed: int) -> Program:
+    """Dense product: row-streamed reads against a column-strided operand."""
+    a = declare("A", N, N, elem_bytes=elem_bytes)
+    b = declare("B", N, N, elem_bytes=elem_bytes)
+    c = declare("C", N, N, elem_bytes=elem_bytes)
+    product = (
+        nest_builder("fuzz.mxm")
+        .loop("i", 0, N)
+        .loop("j", 0, N)
+        .reads(a(I, J), b(J, I))
+        .writes(c(I, J))
+        .compute(compute)
+        .build()
+    )
+    built: List[LoopNest] = [product]
+    if nests > 1:
+        built.append(
+            nest_builder("fuzz.mxm.post")
+            .loop("i", 0, N)
+            .loop("j", 0, N)
+            .reads(c(I, J))
+            .writes(a(I, J))
+            .compute(compute)
+            .build()
+        )
+    return Program("fuzz-mxm", tuple(built), default_params={"N": n})
+
+
+def _gather(n: int, elem_bytes: int, refs: int, nests: int, compute: int,
+            targets: int, seed: int) -> Program:
+    """Clustered neighbor-list gathers (MD-style) into a streamed buffer."""
+    pos = declare("POS", A, elem_bytes=elem_bytes)
+    buf = declare("BUF", P, elem_bytes=32)
+    index_names = [f"IND{r}" for r in range(refs)]
+    indexes = [declare(name, P, elem_bytes=8) for name in index_names]
+    body = nest_builder("fuzz.gather").loop("i", 0, P)
+    for ind in indexes:
+        body = body.reads(ind(I)).accesses(gather(pos, ind, I))
+    first = body.writes(buf(I)).compute(compute).build()
+    built: List[LoopNest] = [first]
+    if nests > 1:
+        built.append(
+            nest_builder("fuzz.gather.update")
+            .loop("i", 0, A)
+            .reads(pos(I))
+            .writes(pos(I))
+            .compute(compute)
+            .build()
+        )
+
+    def make_builder(radius: int) -> IndexBuilder:
+        def build(params: Mapping[str, int],
+                  rng: np.random.Generator) -> np.ndarray:
+            return clustered_indices(
+                params["P"], params["A"], radius, rng, revisit=0.3
+            )
+        return build
+
+    builders: Dict[str, IndexBuilder] = {
+        name: make_builder(8 + 8 * position)
+        for position, name in enumerate(index_names)
+    }
+    return Program(
+        "fuzz-gather",
+        tuple(built),
+        default_params={"P": n, "A": targets},
+        index_array_builders=builders,
+        seed=seed,
+    )
+
+
+def _spmv(n: int, elem_bytes: int, refs: int, nests: int, compute: int,
+          targets: int, seed: int) -> Program:
+    """Banded sparse-matrix walk: gather x, scatter y along column indices."""
+    x = declare("X", A, elem_bytes=elem_bytes)
+    y = declare("Y", A, elem_bytes=elem_bytes)
+    col = declare("COL", P, elem_bytes=8)
+    row = declare("ROW", P, elem_bytes=8)
+    walk = (
+        nest_builder("fuzz.spmv")
+        .loop("i", 0, P)
+        .reads(col(I))
+        .accesses(gather(x, col, I), scatter(y, row, I))
+        .compute(compute)
+        .build()
+    )
+
+    def build_col(params: Mapping[str, int],
+                  rng: np.random.Generator) -> np.ndarray:
+        rows = max(1, params["P"] // 4)
+        return banded_columns(rows, 4, 16, params["A"], rng)
+
+    def build_row(params: Mapping[str, int],
+                  rng: np.random.Generator) -> np.ndarray:
+        rows = max(1, params["P"] // 4)
+        return np.repeat(
+            (np.arange(rows, dtype=np.int64) * params["A"]) // rows, 4
+        )
+
+    return Program(
+        "fuzz-spmv",
+        (walk,),
+        default_params={"P": (n // 4) * 4, "A": targets},
+        index_array_builders={"COL": build_col, "ROW": build_row},
+        seed=seed,
+    )
+
+
+def _bucketed(n: int, elem_bytes: int, refs: int, nests: int, compute: int,
+              targets: int, seed: int) -> Program:
+    """Radix-style pass: bucketed scatter with partial locality."""
+    out = declare("OUT", A, elem_bytes=elem_bytes)
+    keys = declare("KEYS", P, elem_bytes=8)
+    src = declare("SRC", P, elem_bytes=elem_bytes)
+    pass_ = (
+        nest_builder("fuzz.bucketed")
+        .loop("i", 0, P)
+        .reads(src(I), keys(I))
+        .accesses(scatter(out, keys, I))
+        .compute(compute)
+        .build()
+    )
+
+    def build_keys(params: Mapping[str, int],
+                   rng: np.random.Generator) -> np.ndarray:
+        return bucketed_keys(params["P"], 16, params["A"], rng)
+
+    return Program(
+        "fuzz-bucketed",
+        (pass_,),
+        default_params={"P": n, "A": targets},
+        index_array_builders={"KEYS": build_keys},
+        seed=seed,
+    )
+
+
+_BUILDERS = {
+    "stream": _stream,
+    "stencil2d": _stencil2d,
+    "mxm": _mxm,
+    "gather": _gather,
+    "spmv": _spmv,
+    "bucketed": _bucketed,
+}

@@ -1,0 +1,63 @@
+"""Tier-1 corpus replay: every checked-in fuzz repro must stay failing
+until fixed -- and a healthy HEAD has an empty corpus, which passes
+trivially (same policy as the lint baseline)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import (
+    CHECK_MAP,
+    CorpusEntry,
+    CorpusStore,
+    generate_case,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def _entries():
+    return CorpusStore(CORPUS_DIR).load()
+
+
+def test_corpus_directory_exists():
+    assert CORPUS_DIR.is_dir()
+
+
+def test_corpus_entries_replay():
+    """Each entry's check must still report a divergence (the bug is
+    unfixed) -- a passing entry means the bug was fixed and the entry
+    should be deleted in favour of a regular regression test."""
+    entries = _entries()
+    if not entries:
+        pytest.skip("corpus empty (healthy HEAD)")
+    stale = []
+    for entry in entries:
+        detail = CHECK_MAP[entry.check](entry.case)
+        if detail is None:
+            stale.append(entry.case.case_id())
+    assert not stale, (
+        f"corpus entries no longer reproduce (bug fixed?): {stale}; "
+        "delete them and add a regular regression test"
+    )
+
+
+def test_corpus_entries_reference_known_checks():
+    for entry in _entries():
+        assert entry.check in CHECK_MAP
+
+
+def test_store_round_trip(tmp_path):
+    case = generate_case(seed=11, index=0)
+    entry = CorpusEntry(case=case, check="engine-differential",
+                        detail="synthetic detail")
+    store = CorpusStore(tmp_path / "corpus")
+    path = store.save(entry)
+    assert path.name == f"{case.case_id()}.json"
+    loaded = store.load()
+    assert len(loaded) == 1
+    assert loaded[0] == entry
+    assert loaded[0].case.to_json() == case.to_json()
+    # Saving again is idempotent: same digest, same file, still one entry.
+    assert store.save(entry) == path
+    assert len(store) == 1

@@ -1,0 +1,77 @@
+"""Seeded-bug negative control: prove the fuzzer can actually catch and
+shrink a real divergence.
+
+A known off-by-one is injected into the fast engine (one extra cycle per
+chunk on core 0), then the fuzzer runs with a bounded budget.  It must
+(a) find the engine-differential divergence, (b) shrink it to a tiny
+case, and (c) file a replayable corpus entry.  This is the test that
+keeps the oracle honest -- a fuzzer that cannot find a planted bug
+proves nothing when it reports "ok".
+"""
+
+import pytest
+
+from repro.fuzz import (
+    CHECK_MAP,
+    CorpusStore,
+    FuzzCase,
+    num_references,
+    run_fuzz,
+)
+from repro.sim.engine import ExecutionEngine
+
+
+@pytest.fixture
+def seeded_bug(monkeypatch):
+    """Fast path charges one extra cycle per chunk on core 0."""
+    original = ExecutionEngine._run_chunk_fast
+
+    def buggy(self, core, *args, **kwargs):
+        finish = original(self, core, *args, **kwargs)
+        return finish + 1 if core == 0 else finish
+
+    monkeypatch.setattr(ExecutionEngine, "_run_chunk_fast", buggy)
+
+
+def test_fuzzer_catches_and_shrinks_seeded_bug(seeded_bug, tmp_path):
+    corpus = tmp_path / "corpus"
+    report = run_fuzz(
+        seed=5,
+        iterations=3,
+        checks=["engine-differential"],
+        max_shrink_evals=40,
+        corpus_dir=str(corpus),
+    )
+    assert not report["ok"]
+    assert report["divergences"], "fuzzer missed the planted bug"
+    div = report["divergences"][0]
+    assert div["check"] == "engine-differential"
+    assert "execution_cycles" in div["detail"]
+
+    # Shrinking must reach the acceptance floor: a 4x4 mesh and a
+    # workload with at most 2 array references (stream touches a, b).
+    shrunk = div["shrunk"]
+    assert shrunk["evals"] <= 40
+    small = FuzzCase.from_dict(shrunk["case"])
+    assert small.mesh_width <= 4 and small.mesh_height <= 4
+    assert num_references(small.build_workload()) <= 2
+
+    # The corpus entry replays: with the bug still patched in, the
+    # filed check reports the same family of divergence.
+    entries = CorpusStore(corpus).load()
+    assert len(entries) == len(report["divergences"])
+    entry = entries[0]
+    detail = CHECK_MAP[entry.check](entry.case)
+    assert detail is not None and "execution_cycles" in detail
+
+
+def test_clean_head_passes_same_budget(tmp_path):
+    """Control for the control: without the bug, the same budget is ok."""
+    report = run_fuzz(
+        seed=5,
+        iterations=3,
+        checks=["engine-differential"],
+        corpus_dir=str(tmp_path / "corpus"),
+    )
+    assert report["ok"]
+    assert len(CorpusStore(tmp_path / "corpus")) == 0

@@ -1,0 +1,144 @@
+"""Oracle, invariant, shrinker and report-determinism tests.
+
+The expensive differential checks run once on a fixed small case; the
+shrinker and report tests use the simulation-free rotation check so the
+suite stays fast.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import (
+    CHECKS,
+    PATTERNS,
+    FuzzCase,
+    ShrinkResult,
+    build_fuzz_workload,
+    generate_case,
+    num_references,
+    resolve_checks,
+    run_fuzz,
+    shrink,
+)
+from repro.fuzz.shrinker import _minimal_jump
+
+SMALL_CASE = FuzzCase(
+    seed=7, index=0, mesh_width=4, mesh_height=4, region_w=2, region_h=2,
+    llc="shared", mc_placement="corners", network="analytic",
+    page_bytes=2048, l2_size_bytes=16384, mc_granularity="page",
+    bank_granularity="page", dram="ddr3", iteration_set_fraction=0.01,
+    mapping="la", trips=3, cme_accuracy=0.85,
+    workload=(("compute", 4), ("elem_bytes", 32), ("n", 256),
+              ("nests", 1), ("pattern", "stream"), ("refs", 1)),
+    faults=("link:0,0->1,0:down",),
+)
+
+
+@pytest.mark.parametrize("name,check", CHECKS, ids=[n for n, _ in CHECKS])
+def test_all_checks_pass_on_small_case(name, check):
+    assert check(SMALL_CASE) is None
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+def test_every_pattern_builds(pattern):
+    n = 16 if pattern in ("stencil2d", "mxm") else 256
+    workload = build_fuzz_workload(pattern=pattern, n=n)
+    assert workload.program.nests
+    assert num_references(workload) >= 1
+    workload.program.instantiate()  # index arrays build without error
+
+
+def test_build_fuzz_workload_rejects_garbage():
+    with pytest.raises(ValueError):
+        build_fuzz_workload(pattern="nope", n=256)
+    with pytest.raises(ValueError):
+        build_fuzz_workload(pattern="stream", n=1)
+
+
+def test_resolve_checks_subsets_and_rejects():
+    subset = resolve_checks(["engine-differential"])
+    assert [name for name, _ in subset] == ["engine-differential"]
+    assert resolve_checks(None) == CHECKS
+    with pytest.raises(ValueError):
+        resolve_checks(["no-such-check"])
+
+
+def test_shrinker_reaches_minimal_jump_in_one_eval():
+    """A bug that reproduces everywhere shrinks in a single evaluation."""
+    case = generate_case(seed=3, index=1)
+
+    def always_fails(candidate):
+        return "synthetic failure"
+
+    result = shrink(case, always_fails, "synthetic failure")
+    assert isinstance(result, ShrinkResult)
+    assert result.evals == 1
+    assert result.improved
+    assert result.case == _minimal_jump(case)
+    assert result.case.mesh_width == 4 and result.case.mesh_height == 4
+    assert result.case.faults == ()
+
+
+def test_shrinker_keeps_original_when_nothing_helps():
+    case = generate_case(seed=3, index=1)
+    calls = []
+
+    def only_original_fails(candidate):
+        calls.append(candidate)
+        return "detail" if candidate == case else None
+
+    result = shrink(case, only_original_fails, "detail", max_evals=10)
+    assert result.case == case
+    assert not result.improved
+    assert result.detail == "detail"
+    assert result.evals <= 10
+
+
+def test_fault_conditioned_failures_keep_their_faults():
+    """The second jump preserves the fault plan, so a check that only
+    fires on degraded machines still shrinks aggressively."""
+    case = SMALL_CASE.with_updates(
+        mesh_width=6, mesh_height=6, region_w=3, region_h=3,
+        faults=("mc:1:offline",),
+    )
+
+    def fails_only_with_faults(candidate):
+        return "needs faults" if candidate.faults else None
+
+    result = shrink(case, fails_only_with_faults, "needs faults")
+    assert result.case.faults == ("mc:1:offline",)
+    assert result.case.mesh_width == 4
+
+
+def test_run_fuzz_report_is_deterministic():
+    """Same (seed, iterations, checks) => byte-identical report.  The
+    rotation check is simulation-free, so this exercises the full loop
+    cheaply."""
+    kwargs = dict(seed=7, iterations=6, checks=["mesh-rotation-symmetry"])
+    a = run_fuzz(**kwargs)
+    b = run_fuzz(**kwargs)
+    assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+    assert a["ok"]
+    assert a["cases_run"] == 6
+    assert a["schema"] == "repro.fuzz/1"
+
+
+def test_run_fuzz_rejects_negative_iterations():
+    with pytest.raises(ValueError):
+        run_fuzz(iterations=-1)
+
+
+def test_cli_fuzz_smoke(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "fuzz.json"
+    code = main([
+        "fuzz", "--seed", "7", "--iterations", "2", "--no-shrink",
+        "--json", str(out),
+    ])
+    assert code == 0
+    report = json.loads(out.read_text())
+    assert report["schema"] == "repro.fuzz/1"
+    assert report["ok"]
+    assert "fuzz: seed=7" in capsys.readouterr().out

@@ -460,3 +460,24 @@ class TestEventStreamEquivalence:
         assert first  # the mapper really narrated its choices
         assert first == again
         assert first == via_reference
+
+
+# ---------------------------------------------------------------------------
+# Fuzz-generated configurations
+# ---------------------------------------------------------------------------
+
+class TestFuzzedConfigs:
+    """Fixed draws from the repro.fuzz generator, run through the same
+    fast/reference equivalence harness: the hand-picked matrix above
+    covers the corners we thought of, these cover the ones we didn't.
+    The seed is pinned so the five cases are stable regression points."""
+
+    @pytest.mark.parametrize("index", range(5))
+    def test_fuzzed_case_engines_equivalent(self, index):
+        from repro.fuzz import generate_case
+
+        case = generate_case(seed=1234, index=index)
+        config = case.build_config()
+        program = case.build_workload().program
+        (fast_stats, _), _ = run_pair(config, program)
+        assert fast_stats.iterations_executed > 0
