@@ -19,6 +19,7 @@ labels -- exactly what MAI/CAI construction and alpha selection consume.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -57,7 +58,9 @@ class SetEstimate:
 
     @property
     def miss_fraction(self) -> float:
-        return 1.0 - self.hit_fraction if self.accesses else 0.0
+        # An unsampled set is treated as all-miss (conservative), the same
+        # stance alpha selection takes: hit + miss always sums to 1.0.
+        return 1.0 - self.hit_fraction
 
 
 class CacheMissEstimator:
@@ -85,7 +88,7 @@ class CacheMissEstimator:
         self.line_bytes = line_bytes
         self.accuracy = accuracy
         self.sample_iterations = sample_iterations
-        self._rng = np.random.default_rng(seed)
+        self.seed = seed
 
     # ------------------------------------------------------------------
     def _build_model(self, sample_fraction: float) -> SetAssociativeModel:
@@ -100,30 +103,63 @@ class CacheMissEstimator:
         nest_index: int,
         iteration_sets: Sequence[IterationSet],
     ) -> Dict[int, SetEstimate]:
-        """Per-set classified accesses for one loop nest."""
+        """Per-set classified accesses for one loop nest.
+
+        The result is a pure function of (instance, nest_index, sets) and
+        the estimator's parameters: the sampled-capacity correction uses
+        the *actual* sampled-to-total iteration ratio (not the average set
+        size, which mis-scales heterogeneous sets), and label noise draws
+        from per-(nest, set) seeded streams, so estimates are independent
+        of how many nests were estimated before this one -- which is what
+        makes them safely memoizable (:mod:`repro.compile`).
+        """
         if not iteration_sets:
             return {}
-        avg_set_size = sum(s.size for s in iteration_sets) / len(iteration_sets)
-        sample_fraction = min(1.0, self.sample_iterations / max(1.0, avg_set_size))
+        # Sampled-simulation capacity correction from the stream actually
+        # fed to the model: each set contributes min(size, sample budget)
+        # evenly spaced iterations, so the scaling follows the true
+        # sampled fraction even when set sizes are wildly heterogeneous.
+        total_iterations = sum(s.size for s in iteration_sets)
+        sampled_iterations = sum(
+            min(s.size, self.sample_iterations) for s in iteration_sets
+        )
+        sample_fraction = sampled_iterations / total_iterations
         model = self._build_model(sample_fraction)
         estimates: Dict[int, SetEstimate] = {
             s.set_id: SetEstimate(s.set_id) for s in iteration_sets
         }
+        flip_rngs: Dict[int, np.random.Generator] = {}
         for sampled in sampled_access_stream(
             instance, nest_index, iteration_sets, self.sample_iterations
         ):
             line = sampled.vaddr // self.line_bytes
             hit = model.access(line)
-            hit = self._maybe_flip(hit)
+            if self.accuracy < 1.0:
+                rng = flip_rngs.get(sampled.set_id)
+                if rng is None:
+                    rng = self._flip_rng(nest_index, sampled.set_id)
+                    flip_rngs[sampled.set_id] = rng
+                hit = self._maybe_flip(hit, rng)
             estimates[sampled.set_id].accesses.append(
                 ClassifiedAccess(sampled.vaddr, sampled.is_write, hit)
             )
         return estimates
 
-    def _maybe_flip(self, label: bool) -> bool:
+    def _flip_rng(self, nest_index: int, set_id: int) -> np.random.Generator:
+        """Label-noise stream for one (nest, iteration set) pair.
+
+        String-seeded from the estimator seed plus the pair's coordinates,
+        so the flips applied to a set never depend on estimation order or
+        on any other set's draws (call-order independence).
+        """
+        material = f"repro.cme.flip:{self.seed}:{nest_index}:{set_id}"
+        digest = hashlib.sha256(material.encode("utf-8")).digest()
+        return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+    def _maybe_flip(self, label: bool, rng: np.random.Generator) -> bool:
         if self.accuracy >= 1.0:
             return label
-        if self._rng.random() < self.accuracy:
+        if rng.random() < self.accuracy:
             return label
         return not label
 

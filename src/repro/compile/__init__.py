@@ -1,0 +1,49 @@
+"""Content-addressed compile-side memoization (see :mod:`.cache`)."""
+
+from .artifacts import (
+    decode_affinities,
+    decode_estimates,
+    decode_tables,
+    encode_affinities,
+    encode_estimates,
+    encode_tables,
+)
+from .cache import (
+    DEFAULT_MEMORY_ENTRIES,
+    CompileCache,
+    configure_compile_cache,
+    get_compile_cache,
+    reset_compile_cache,
+)
+from .keys import (
+    COMPILE_SCHEMA_VERSION,
+    affinity_material,
+    distribution_material,
+    estimates_material,
+    instance_digest,
+    material_digest,
+    partition_material,
+    tables_material,
+)
+
+__all__ = [
+    "COMPILE_SCHEMA_VERSION",
+    "DEFAULT_MEMORY_ENTRIES",
+    "CompileCache",
+    "affinity_material",
+    "configure_compile_cache",
+    "decode_affinities",
+    "decode_estimates",
+    "decode_tables",
+    "distribution_material",
+    "encode_affinities",
+    "encode_estimates",
+    "encode_tables",
+    "estimates_material",
+    "get_compile_cache",
+    "instance_digest",
+    "material_digest",
+    "partition_material",
+    "reset_compile_cache",
+    "tables_material",
+]

@@ -1,0 +1,119 @@
+"""Codecs between compile-side domain objects and cached JSON payloads.
+
+Every codec pair is exact: ``decode(json_round_trip(encode(x)))``
+reconstructs ``x`` bit for bit.  Python's JSON writer round-trips finite
+doubles exactly and renders ``inf`` as ``Infinity`` (which the reader
+accepts), so affinity vectors and degraded distance tables -- including
+their ``inf`` entries for unreachable targets -- survive unchanged.
+This is what makes the cache transparent: a compile fed decoded payloads
+produces byte-identical schedules, stats, and event streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.cme.equations import ClassifiedAccess, SetEstimate
+from repro.core.mapping import ProximityTables, SetAffinity
+
+
+# -- CME estimates ------------------------------------------------------
+def encode_estimates(estimates: Dict[int, SetEstimate]) -> Dict[str, Any]:
+    """``{set_id: [[vaddr, is_write, llc_hit], ...]}`` (JSON-ready)."""
+    return {
+        str(set_id): [
+            [a.vaddr, a.is_write, a.llc_hit] for a in estimate.accesses
+        ]
+        for set_id, estimate in sorted(estimates.items())
+    }
+
+
+def decode_estimates(payload: Mapping[str, Any]) -> Dict[int, SetEstimate]:
+    out: Dict[int, SetEstimate] = {}
+    for set_id in sorted(int(key) for key in payload):
+        rows = payload[str(set_id)]
+        out[set_id] = SetEstimate(
+            set_id,
+            [
+                ClassifiedAccess(int(vaddr), bool(is_write), bool(hit))
+                for vaddr, is_write, hit in rows
+            ],
+        )
+    return out
+
+
+# -- affinity vectors ---------------------------------------------------
+def encode_affinities(affinities: List[SetAffinity]) -> List[Dict[str, Any]]:
+    return [
+        {
+            "set_id": a.set_id,
+            "mai": [float(x) for x in a.mai],
+            "cai": (
+                [float(x) for x in a.cai] if a.cai is not None else None
+            ),
+            "alpha": a.alpha,
+            "iterations": a.iterations,
+        }
+        for a in affinities
+    ]
+
+
+def decode_affinities(payload: List[Mapping[str, Any]]) -> List[SetAffinity]:
+    return [
+        SetAffinity(
+            set_id=int(row["set_id"]),
+            mai=np.asarray(row["mai"], dtype=float),
+            cai=(
+                np.asarray(row["cai"], dtype=float)
+                if row["cai"] is not None
+                else None
+            ),
+            alpha=float(row["alpha"]),
+            iterations=int(row["iterations"]),
+        )
+        for row in payload
+    ]
+
+
+# -- proximity tables ---------------------------------------------------
+def _encode_vector_map(table: Mapping[int, Any]) -> Dict[str, List[float]]:
+    return {
+        str(key): [float(x) for x in vec] for key, vec in sorted(table.items())
+    }
+
+
+def _decode_vector_map(payload: Mapping[str, Any]) -> Dict[int, np.ndarray]:
+    return {
+        int(key): np.asarray(vec, dtype=float)
+        for key, vec in payload.items()
+    }
+
+
+def _encode_matrix(matrix: Optional[np.ndarray]) -> Optional[List[Any]]:
+    return matrix.tolist() if matrix is not None else None
+
+
+def _decode_matrix(payload: Optional[List[Any]]) -> Optional[np.ndarray]:
+    return np.asarray(payload, dtype=float) if payload is not None else None
+
+
+def encode_tables(tables: ProximityTables) -> Dict[str, Any]:
+    return {
+        "macs": _encode_vector_map(tables.macs),
+        "cacs": _encode_vector_map(tables.cacs),
+        "capacity": _encode_matrix(tables.capacity),
+        "mem_dist": _encode_matrix(tables.mem_dist),
+        "llc_dist": _encode_matrix(tables.llc_dist),
+    }
+
+
+def decode_tables(payload: Mapping[str, Any]) -> ProximityTables:
+    return ProximityTables(
+        macs=_decode_vector_map(payload["macs"]),
+        cacs=_decode_vector_map(payload["cacs"]),
+        capacity=_decode_matrix(payload["capacity"]),
+        mem_dist=_decode_matrix(payload["mem_dist"]),
+        llc_dist=_decode_matrix(payload["llc_dist"]),
+    )

@@ -57,15 +57,46 @@ class ArchitectureView:
         bank = self.distribution.bank_of(vaddr)
         return self.partition.region_of_node(bank)
 
+    def bank_region_table(self) -> np.ndarray:
+        """Home-bank -> region lookup table (vectorized CAI path)."""
+        return np.fromiter(
+            (
+                self.partition.region_of_node(bank)
+                for bank in range(self.distribution.num_llc_banks)
+            ),
+            dtype=np.int64,
+            count=self.distribution.num_llc_banks,
+        )
+
+
+def _access_arrays(accesses: Iterable[ClassifiedAccess]):
+    """(vaddrs, hits) as numpy arrays for the bincount paths below."""
+    materialized = (
+        accesses if isinstance(accesses, Sequence) else list(accesses)
+    )
+    vaddrs = np.fromiter(
+        (a.vaddr for a in materialized), dtype=np.int64, count=len(materialized)
+    )
+    hits = np.fromiter(
+        (a.llc_hit for a in materialized), dtype=bool, count=len(materialized)
+    )
+    return vaddrs, hits
+
 
 def build_mai(
     accesses: Iterable[ClassifiedAccess], view: ArchitectureView
 ) -> AffinityVector:
-    """MAI: distribution of the set's LLC *misses* over MCs."""
-    counts = np.zeros(view.num_mcs, dtype=float)
-    for access in accesses:
-        if not access.llc_hit:
-            counts[view.mc_of(access.vaddr)] += 1.0
+    """MAI: distribution of the set's LLC *misses* over MCs.
+
+    Vectorized over the classified-access stream with ``np.bincount`` (the
+    same shape as :mod:`repro.obs.spatial` uses for traffic); counts are
+    integer-valued, so this is bit-identical to the scalar accumulation.
+    """
+    vaddrs, hits = _access_arrays(accesses)
+    miss_vaddrs = vaddrs[~hits]
+    counts = np.bincount(
+        view.distribution.mc_of_batch(miss_vaddrs), minlength=view.num_mcs
+    ).astype(float)
     return affinity_from_counts(counts, view.num_mcs)
 
 
@@ -73,10 +104,10 @@ def build_cai(
     accesses: Iterable[ClassifiedAccess], view: ArchitectureView
 ) -> AffinityVector:
     """CAI: distribution of the set's LLC *hits* over home-bank regions."""
-    counts = np.zeros(view.num_regions, dtype=float)
-    for access in accesses:
-        if access.llc_hit:
-            counts[view.bank_region_of(access.vaddr)] += 1.0
+    vaddrs, hits = _access_arrays(accesses)
+    banks = view.distribution.bank_of_batch(vaddrs[hits])
+    regions = view.bank_region_table()[banks]
+    counts = np.bincount(regions, minlength=view.num_regions).astype(float)
     return affinity_from_counts(counts, view.num_regions)
 
 

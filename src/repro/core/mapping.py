@@ -57,6 +57,55 @@ class SetAffinity:
 
 
 @dataclass
+class ProximityTables:
+    """MAC/CAC proximity tables (plus the degraded-topology extras).
+
+    A pure function of (partition, organization, mac_mode, cac_self_weight,
+    fault plan): building one is the expensive part of constructing a
+    :class:`Mapper`, so the compile-side cache (:mod:`repro.compile`)
+    memoizes these and hands them back via ``Mapper(tables=...)``.
+    """
+
+    macs: Mapping[int, AffinityVector]
+    cacs: Mapping[int, AffinityVector]
+    capacity: Optional[np.ndarray] = None
+    mem_dist: Optional[np.ndarray] = None
+    llc_dist: Optional[np.ndarray] = None
+
+
+def build_proximity_tables(
+    partition: RegionPartition,
+    organization: LLCOrganization,
+    mac_mode: MacMode = MacMode.NEAREST,
+    cac_self_weight: float = 0.5,
+    faults=None,
+) -> ProximityTables:
+    """Construct the proximity tables one :class:`Mapper` consumes."""
+    if faults is not None:
+        # Banks are co-located with cores, so the shared-LLC (bank-
+        # anchored) and private (core-anchored) MAC coincide here just
+        # as they do in the pristine tables.
+        mem_dist, llc_dist = _degraded_distance_tables(partition, faults)
+        return ProximityTables(
+            macs=degraded_mac_table(partition, faults, mode=mac_mode),
+            cacs=degraded_cac_table(
+                partition, faults, self_weight=cac_self_weight
+            ),
+            capacity=region_capacities(partition, faults),
+            mem_dist=mem_dist,
+            llc_dist=llc_dist,
+        )
+    if organization is LLCOrganization.SHARED:
+        # S-NUCA: the off-chip leg starts at the LLC bank (Section 3.8).
+        macs = llc_mac_table(partition, mode=mac_mode)
+    else:
+        macs = mac_table(partition, mode=mac_mode)
+    return ProximityTables(
+        macs=macs, cacs=cac_table(partition, self_weight=cac_self_weight)
+    )
+
+
+@dataclass
 class Schedule:
     """The mapper's product: where every iteration set runs."""
 
@@ -93,6 +142,7 @@ class Mapper:
         seed: int = 11,
         events=None,
         faults=None,
+        tables: Optional[ProximityTables] = None,
     ):
         self.partition = partition
         self.organization = organization
@@ -110,32 +160,26 @@ class Mapper:
         # attached, MAC/CAC come from effective post-fault distances and
         # the balancer's targets follow effective region capacities.
         self.faults = faults
-        if organization is LLCOrganization.SHARED:
-            # S-NUCA: the off-chip leg starts at the LLC bank
-            # (Section 3.8).
-            pristine_macs = llc_mac_table(partition, mode=mac_mode)
-        else:
-            pristine_macs = mac_table(partition, mode=mac_mode)
-        pristine_cacs = cac_table(partition, self_weight=cac_self_weight)
-        if faults is not None:
-            # Banks are co-located with cores, so the shared-LLC (bank-
-            # anchored) and private (core-anchored) MAC coincide here just
-            # as they do in the pristine tables.
-            self._macs = degraded_mac_table(partition, faults, mode=mac_mode)
-            self._cacs = degraded_cac_table(
-                partition, faults, self_weight=cac_self_weight
+        # A caller holding memoized tables (repro.compile) passes them in;
+        # they MUST match this constructor's parameters or errors/capacity
+        # would silently disagree with the topology.
+        if tables is None:
+            tables = build_proximity_tables(
+                partition,
+                organization,
+                mac_mode=mac_mode,
+                cac_self_weight=cac_self_weight,
+                faults=faults,
             )
-            self._capacity = region_capacities(partition, faults)
+        self._macs = tables.macs
+        self._cacs = tables.cacs
+        self._capacity = tables.capacity
+        if faults is not None:
             # Effective distance matrices back predicted_cost(), which the
             # compiler uses to score this mapper's schedule against the
             # oblivious candidate under the post-fault topology.
-            self._mem_dist, self._llc_dist = _degraded_distance_tables(
-                partition, faults
-            )
-        else:
-            self._macs = pristine_macs
-            self._cacs = pristine_cacs
-            self._capacity = None
+            self._mem_dist = tables.mem_dist
+            self._llc_dist = tables.llc_dist
 
     # ------------------------------------------------------------------
     @property
@@ -174,14 +218,41 @@ class Mapper:
     def _error_matrix_with(
         self, affinities: Sequence[SetAffinity], macs, cacs
     ) -> np.ndarray:
+        # Broadcast eta() over every (set, region) pair at once.  The
+        # last-axis sum over a C-contiguous block reduces in the same
+        # pairwise order as the 1-D sum inside eta(), so this is
+        # bit-identical to the per-pair scalar loop it replaces.
         n_regions = self.partition.num_regions
-        errors = np.empty((len(affinities), n_regions), dtype=float)
-        for i, affinity in enumerate(affinities):
-            for region in range(n_regions):
-                errors[i, region] = self._set_error_with(
-                    affinity, region, macs, cacs
+        mai = _stack_vectors((a.mai for a in affinities), "MAI")
+        mac = _stack_vectors((macs[r] for r in range(n_regions)), "MAC")
+        if mai.shape[1] != mac.shape[1]:
+            raise ValueError(
+                f"vector length mismatch: {mai.shape[1:]} vs {mac.shape[1:]}"
+            )
+        eta_m = _eta_matrix(mai, mac)
+        if self.organization is LLCOrganization.PRIVATE:
+            return eta_m
+        for affinity in affinities:
+            if affinity.cai is None:
+                raise ValueError(
+                    f"set {affinity.set_id}: shared-LLC mapping needs a "
+                    "CAI vector"
                 )
-        return errors
+        cai = _stack_vectors((a.cai for a in affinities), "CAI")
+        cac = _stack_vectors((cacs[r] for r in range(n_regions)), "CAC")
+        if cai.shape[1] != cac.shape[1]:
+            raise ValueError(
+                f"vector length mismatch: {cai.shape[1:]} vs {cac.shape[1:]}"
+            )
+        eta_c = _eta_matrix(cai, cac)
+        if not self.alpha_weighting:
+            # Algorithm 2 verbatim: argmin over eta1 + eta2.
+            return eta_c + eta_m
+        alpha = np.asarray([a.alpha for a in affinities], dtype=float)
+        if np.any(alpha < 0.0) or np.any(alpha > 1.0):
+            raise ValueError("alpha must be within [0, 1]")
+        alpha = alpha[:, None]
+        return alpha * eta_c + (1.0 - alpha) * eta_m
 
     # ------------------------------------------------------------------
     def assign(
@@ -411,6 +482,25 @@ def _degraded_distance_tables(partition, topology):
                 for a in nodes for b in region_nodes[q]
             ]))
     return mem, llc
+
+
+def _stack_vectors(vectors, label: str) -> np.ndarray:
+    """Rows of equal-length affinity vectors as one float64 matrix."""
+    try:
+        return np.asarray(list(vectors), dtype=float)
+    except ValueError as exc:  # ragged rows
+        raise ValueError(f"{label} vectors differ in length") from exc
+
+
+def _eta_matrix(rows: np.ndarray, tables: np.ndarray) -> np.ndarray:
+    """``eta(rows[i], tables[r])`` for every pair, bit-exactly.
+
+    ``np.abs(...)`` materializes a C-contiguous (sets, regions, L) array,
+    so the axis=2 reduction sums each contiguous length-L block with the
+    same pairwise algorithm the scalar ``eta`` uses on its 1-D operand.
+    """
+    diffs = np.abs(rows[:, None, :] - tables[None, :, :])
+    return diffs.sum(axis=2) / rows.shape[1]
 
 
 def _reindex_errors(errors: np.ndarray, ids: Sequence[int]) -> np.ndarray:

@@ -37,13 +37,15 @@ from .mapping import (
     FAULT_CANDIDATE_MARGIN_ESTIMATED,
     Mapper,
     PlacementStrategy,
+    ProximityTables,
     Schedule,
     SetAffinity,
+    build_proximity_tables,
 )
 from .proximity import MacMode
 from .regions import RegionPartition
 
-PIPELINE_VERSION = 1
+PIPELINE_VERSION = 2
 """Semantic version of the mapping/simulation pipeline.
 
 Bump this whenever a change alters what any (workload, config, mapping,
@@ -99,8 +101,18 @@ class LocationAwareCompiler:
         telemetry=None,
         fault_plan=None,
         fault_aware: bool = True,
+        compile_cache=None,
     ):
         self.config = config
+        # Optional repro.compile.CompileCache: memoizes the expensive
+        # compile-side artifacts (CME estimates, affinity vectors, MAC/CAC
+        # tables) across compiles, runs, and processes.  Cached payloads
+        # are JSON-round-tripped on *every* path, so the cached and
+        # uncached pipelines are bit-identical by construction.  (This
+        # module never imports repro.compile at the top level -- that
+        # package imports repro.exec.cache, which reaches back here.)
+        self.compile_cache = compile_cache
+        self._instance_hash: Optional[str] = None
         self.check_parallelism = check_parallelism
         # Fault-aware compilation: with a non-empty repro.faults.FaultPlan
         # and fault_aware=True, affinity analysis sees the degraded data
@@ -159,9 +171,25 @@ class LocationAwareCompiler:
             alpha_weighting=alpha_weighting,
             seed=seed,
         )
+        aware_tables: Optional[ProximityTables] = None
+        pristine_tables: Optional[ProximityTables] = None
+        if self.compile_cache is not None:
+            fault_hash = (
+                self.fault_plan.plan_hash() if degraded is not None else None
+            )
+            aware_tables = self._cached_tables(
+                mac_mode, cac_self_weight, degraded, fault_hash
+            )
+            if degraded is not None:
+                # The oblivious arm keys its tables with fault_plan=None,
+                # sharing the exact entries a fault-blind compile writes.
+                pristine_tables = self._cached_tables(
+                    mac_mode, cac_self_weight, None, None
+                )
         self.mapper = Mapper(
             events=self.telemetry.events if self.telemetry is not None else None,
             faults=degraded,
+            tables=aware_tables,
             **mapper_kwargs,
         )
         # Graceful degradation by construction: next to the fault-aware
@@ -180,7 +208,8 @@ class LocationAwareCompiler:
                 distribution=config.build_distribution(),
             )
             self.oblivious_mapper = Mapper(
-                events=None, faults=None, **mapper_kwargs
+                events=None, faults=None, tables=pristine_tables,
+                **mapper_kwargs,
             )
         # CME models the capacity the program actually has available: the
         # local bank for private LLCs, the aggregate for S-NUCA.
@@ -197,6 +226,42 @@ class LocationAwareCompiler:
         )
 
     # ------------------------------------------------------------------
+    def _cached_tables(
+        self,
+        mac_mode: MacMode,
+        cac_self_weight: float,
+        faults,
+        fault_plan_hash: Optional[str],
+    ) -> ProximityTables:
+        """Proximity tables via the compile cache (pristine or degraded)."""
+        from repro.compile import tables_material
+        from repro.compile.artifacts import decode_tables, encode_tables
+
+        material = tables_material(
+            self.partition,
+            self.config.llc_organization,
+            mac_mode,
+            cac_self_weight,
+            fault_plan_hash,
+            self.config.router_delay,
+        )
+        payload = self.compile_cache.get_or_build(
+            "tables",
+            material,
+            lambda: encode_tables(
+                build_proximity_tables(
+                    self.partition,
+                    self.config.llc_organization,
+                    mac_mode=mac_mode,
+                    cac_self_weight=cac_self_weight,
+                    faults=faults,
+                )
+            ),
+            telemetry=self.telemetry,
+        )
+        return decode_tables(payload)
+
+    # ------------------------------------------------------------------
     def partition_nest(
         self, instance: ProgramInstance, nest_index: int
     ) -> List[IterationSet]:
@@ -209,6 +274,10 @@ class LocationAwareCompiler:
         """Run the full Figure 4 flow over every parallel nest."""
         if self.analyze_gate:
             self._gate_instance(instance)
+        if self.compile_cache is not None:
+            from repro.compile import instance_digest
+
+            self._instance_hash = instance_digest(instance)
         result = CompiledSchedule(iteration_sets={}, schedules={})
         for nest_index, nest in enumerate(instance.program.nests):
             if self.check_parallelism:
@@ -314,16 +383,80 @@ class LocationAwareCompiler:
         nest_index: int,
         sets: List[IterationSet],
     ) -> List[SetAffinity]:
-        # One estimator pass per nest, shared by both machine views: the
-        # estimator is view-independent but stateful (sampling RNG), so a
-        # second call would desynchronize later nests from a fault-blind
-        # compile and break the oblivious arm's bit-for-bit equivalence.
+        # One estimator pass per nest, shared by both machine views.  The
+        # estimator is a pure function of (instance, nest, sets, params):
+        # its sampling RNGs are string-seeded per (nest, set), so call
+        # order and call count cannot desynchronize anything -- which is
+        # also what makes its output safely memoizable (repro.compile).
+        if self.compile_cache is not None:
+            return self._analyze_nest_cached(instance, nest_index, sets)
         estimates = self.estimator.estimate_nest(instance, nest_index, sets)
         affinities = self._affinities_from(sets, estimates, self.view)
         if self.oblivious_view is not None:
             for affinity in self._affinities_from(
                 sets, estimates, self.oblivious_view
             ):
+                key = (nest_index, affinity.set_id)
+                self._oblivious_affinities[key] = affinity
+        return affinities
+
+    def _analyze_nest_cached(
+        self,
+        instance: ProgramInstance,
+        nest_index: int,
+        sets: List[IterationSet],
+    ) -> List[SetAffinity]:
+        """The memoized twin of the inline branch above.
+
+        Affinity vectors are cached per (estimates material, view); when
+        every view hits, the CME pass is skipped entirely.  On a miss the
+        estimates are themselves fetched through the cache -- computed at
+        most once per nest and shared by both views, exactly like the
+        inline path.
+        """
+        from repro.compile import affinity_material, estimates_material
+        from repro.compile.artifacts import (
+            decode_affinities,
+            decode_estimates,
+            encode_affinities,
+            encode_estimates,
+        )
+
+        cache = self.compile_cache
+        est_material = estimates_material(
+            self._instance_hash, nest_index, sets, self.estimator
+        )
+        shared: Dict[str, Dict] = {}
+
+        def estimates():
+            if "estimates" not in shared:
+                payload = cache.get_or_build(
+                    "estimates",
+                    est_material,
+                    lambda: encode_estimates(
+                        self.estimator.estimate_nest(instance, nest_index, sets)
+                    ),
+                    telemetry=self.telemetry,
+                )
+                shared["estimates"] = decode_estimates(payload)
+            return shared["estimates"]
+
+        def affinities_for(view: ArchitectureView) -> List[SetAffinity]:
+            payload = cache.get_or_build(
+                "affinity",
+                affinity_material(
+                    est_material, view, self.config.llc_organization
+                ),
+                lambda: encode_affinities(
+                    self._affinities_from(sets, estimates(), view)
+                ),
+                telemetry=self.telemetry,
+            )
+            return decode_affinities(payload)
+
+        affinities = affinities_for(self.view)
+        if self.oblivious_view is not None:
+            for affinity in affinities_for(self.oblivious_view):
                 key = (nest_index, affinity.set_id)
                 self._oblivious_affinities[key] = affinity
         return affinities

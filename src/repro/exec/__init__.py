@@ -27,6 +27,7 @@ from .executor import (
     SweepError,
     SweepResult,
     execute_cell,
+    execute_cell_enveloped,
     execute_cell_traced,
     run_sweep,
     sweep_table,
@@ -42,6 +43,7 @@ __all__ = [
     "SweepError",
     "SweepResult",
     "execute_cell",
+    "execute_cell_enveloped",
     "execute_cell_traced",
     "resolve_workload",
     "run_sweep",

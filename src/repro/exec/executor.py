@@ -60,6 +60,29 @@ class SweepError(RuntimeError):
 # ----------------------------------------------------------------------
 # Cell execution (runs in workers, the coordinator, and the serial path)
 # ----------------------------------------------------------------------
+def _cell_compile_cache(cell: SweepCell):
+    """The process compile cache this cell runs against.
+
+    A cell carrying ``compile_cache_dir`` attaches (or retargets) the
+    process-wide cache's on-disk store, so artifacts persist across
+    worker processes and sweeps; otherwise the cell shares whatever the
+    process cache already is (memory-only by default).
+    """
+    from repro.compile import configure_compile_cache, get_compile_cache
+
+    if cell.compile_cache_dir:
+        return configure_compile_cache(cell.compile_cache_dir)
+    return get_compile_cache()
+
+
+def _counter_delta(before: Dict[str, int], after: Dict[str, int]) -> Dict[str, int]:
+    return {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] - before.get(name, 0)
+    }
+
+
 def execute_cell(
     cell: SweepCell, telemetry: Optional[Telemetry] = None
 ) -> Dict[str, Any]:
@@ -74,6 +97,9 @@ def execute_cell(
     never on whether a hub happened to be attached, so traced and
     untraced executions of the same cell stay ``==``.
     """
+    # Configure the process compile cache first: the harness's "auto"
+    # resolution then picks up the cell's on-disk store (if any).
+    _cell_compile_cache(cell)
     seed = cell.effective_seed()
     if cell.kind == "multiprog":
         from repro.experiments.multiprog import run_multiprogrammed
@@ -139,6 +165,24 @@ def execute_cell(
     return json.loads(json.dumps(payload, sort_keys=True))
 
 
+def execute_cell_enveloped(cell: SweepCell) -> Dict[str, Any]:
+    """:func:`execute_cell` plus an execution sidecar the coordinator keeps.
+
+    Returns ``{"payload": ..., "pid": ..., "compile_cache": {...}}``.  The
+    payload member is exactly :func:`execute_cell`'s; the sidecar (worker
+    pid, this cell's compile-cache traffic delta) never enters the result
+    cache, mirroring the traced wrapper's span/phase sidecar.
+    """
+    cache = _cell_compile_cache(cell)
+    before = cache.counter_snapshot()
+    payload = execute_cell(cell)
+    return {
+        "payload": payload,
+        "pid": os.getpid(),
+        "compile_cache": _counter_delta(before, cache.counter_snapshot()),
+    }
+
+
 def execute_cell_traced(cell: SweepCell) -> Dict[str, Any]:
     """Traced twin of :func:`execute_cell`: payload + span/phase sidecar.
 
@@ -167,11 +211,14 @@ def execute_cell_traced(cell: SweepCell) -> Dict[str, Any]:
         )
     telemetry = Telemetry(events=EventStream(level="decisions"))
     telemetry.attach_tracer(tracer)
+    cache = _cell_compile_cache(cell)
+    before = cache.counter_snapshot()
     with tracer.span("attempt", cat="executor", cell=cell.label()):
         payload = execute_cell(cell, telemetry=telemetry)
     return {
         "payload": payload,
         "pid": os.getpid(),
+        "compile_cache": _counter_delta(before, cache.counter_snapshot()),
         "spans": tracer.to_dicts(),
         "phases": {
             path: {"seconds": round(rec.seconds, 6), "calls": rec.calls}
@@ -207,6 +254,9 @@ class CellResult:
     seconds: float = 0.0
     pid: Optional[int] = None
     phases: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    compile_cache: Dict[str, int] = field(default_factory=dict)
+    """Compile-cache traffic this cell's execution contributed
+    ("<kind>.<outcome>" deltas); empty for result-cache replays."""
 
 
 @dataclass
@@ -267,6 +317,25 @@ class SweepResult:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    def compile_cache_totals(self) -> Dict[str, Any]:
+        """Compile-cache traffic summed across unique cell executions."""
+        totals = {"hits": 0, "misses": 0, "stores": 0}
+        outcome_keys = {"hit": "hits", "miss": "misses", "store": "stores"}
+        seen = set()
+        for result in self.results:
+            if result.key in seen:
+                continue  # duplicate cells share one execution
+            seen.add(result.key)
+            for name, count in result.compile_cache.items():
+                key = outcome_keys.get(name.rpartition(".")[2])
+                if key is not None:
+                    totals[key] += count
+        attempts = totals["hits"] + totals["misses"]
+        return {
+            **totals,
+            "hit_rate": round(totals["hits"] / attempts, 4) if attempts else 0.0,
+        }
+
     def summary(self) -> Dict[str, Any]:
         return {
             "cells": len(self.results),
@@ -276,6 +345,7 @@ class SweepResult:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_hit_rate": round(self.hit_rate, 4),
+            "compile_cache": self.compile_cache_totals(),
             "retries": self.retries,
             "fallbacks": self.fallbacks,
         }
@@ -465,15 +535,10 @@ def run_sweep(
 
         def finish(item: _Pending, raw: Dict[str, Any], attempts: int,
                    in_process: bool, seconds: float) -> None:
-            pid: Optional[int] = None
-            phases: Dict[str, Dict[str, Any]] = {}
-            payload = raw
+            # Every execution path returns an envelope (enveloped or
+            # traced); absorb the sidecar, cache only the payload.
+            payload = raw["payload"]
             if tracer is not None:
-                # Traced executions return an envelope; absorb the span
-                # and phase sidecar, cache only the payload.
-                payload = raw["payload"]
-                pid = raw.get("pid")
-                phases = raw.get("phases") or {}
                 tracer.add_spans(raw.get("spans") or ())
             if cache is not None:
                 cache.put(item.key, payload)
@@ -485,8 +550,9 @@ def run_sweep(
                 attempts=attempts,
                 in_process=in_process,
                 seconds=seconds,
-                pid=pid,
-                phases=phases,
+                pid=raw.get("pid"),
+                phases=raw.get("phases") or {},
+                compile_cache=raw.get("compile_cache") or {},
             )
 
         def run_inline(item: _Pending, in_process: bool) -> None:
@@ -507,7 +573,7 @@ def run_sweep(
                             traced(item, submitted=True)
                         )
                     else:
-                        raw = execute_cell(item.cell)
+                        raw = execute_cell_enveloped(item.cell)
                 except Exception as exc:
                     item.failures += 1
                     if item.failures > max_retries:
@@ -604,7 +670,7 @@ def _run_pool(
                 execute_cell_traced, traced(item, submitted=True)
             )
         else:
-            task = pool.submit(execute_cell, item.cell)
+            task = pool.submit(execute_cell_enveloped, item.cell)
         inflight[task] = item
 
     def rebuild_pool(reason: str) -> ProcessPoolExecutor:

@@ -174,6 +174,7 @@ def run_workload(
     analyze_gate: bool = False,
     fault_plan=None,
     fault_aware: bool = True,
+    compile_cache="auto",
 ) -> RunResult:
     """Simulate one workload end to end; returns stats + artifacts.
 
@@ -199,9 +200,25 @@ def run_workload(
     trip, spatial traffic accumulators collected off the machine, mapper
     decision events, and a run manifest on ``result.stats.manifest``.  A
     ``None`` or disabled hub costs nothing.
+
+    ``compile_cache`` memoizes the compile-side artifacts (CME estimates,
+    affinity vectors, proximity tables): ``"auto"`` (default) uses the
+    process-wide :func:`repro.compile.get_compile_cache`; a
+    :class:`repro.compile.CompileCache` instance is used directly; ``None``
+    or ``False`` disables memoization.  All three modes produce
+    byte-identical results -- the cache is a pure compile-time speedup.
     """
     if mapping not in MAPPINGS:
         raise ValueError(f"unknown mapping {mapping!r}; one of {MAPPINGS}")
+    if compile_cache == "auto":
+        from repro.compile import get_compile_cache
+
+        compile_cache = get_compile_cache()
+    elif not compile_cache:
+        compile_cache = None
+    cache_counts_before = (
+        compile_cache.counter_snapshot() if compile_cache is not None else None
+    )
     if fault_plan is not None and fault_plan.is_empty:
         fault_plan = None
     if analyze_gate:
@@ -259,12 +276,14 @@ def run_workload(
     if not wants_la or workload.regular:
         # Single-schedule runs: cold trip, then a steady trip we measure.
         if wants_la:
-            compiler = _build_compiler(
-                config, cme_accuracy, set_fraction, seed, compiler_kwargs,
-                telemetry=telemetry, fault_plan=fault_plan,
-                fault_aware=fault_aware,
-            )
+            # Constructing the compiler builds (or fetches) the MAC/CAC
+            # proximity tables, so it counts as compile-phase work.
             with _timed("compile"):
+                compiler = _build_compiler(
+                    config, cme_accuracy, set_fraction, seed, compiler_kwargs,
+                    telemetry=telemetry, fault_plan=fault_plan,
+                    fault_aware=fault_aware, compile_cache=compile_cache,
+                )
                 compiled = compiler.compile(instance)
             schedules = compiled.schedules
             moved = compiled.avg_moved_fraction
@@ -295,11 +314,12 @@ def run_workload(
         # observed), migration trip, steady trip.
         from repro.core.inspector import InspectorExecutor
 
-        compiler = _build_compiler(
-            config, cme_accuracy, set_fraction, seed, compiler_kwargs,
-            telemetry=telemetry, fault_plan=fault_plan,
-            fault_aware=fault_aware,
-        )
+        with _timed("compile"):
+            compiler = _build_compiler(
+                config, cme_accuracy, set_fraction, seed, compiler_kwargs,
+                telemetry=telemetry, fault_plan=fault_plan,
+                fault_aware=fault_aware, compile_cache=compile_cache,
+            )
         inspector = InspectorExecutor(
             engine=engine,
             mapper=compiler.mapper,
@@ -366,6 +386,9 @@ def run_workload(
             extra={
                 "trips": modeled_trips,
                 "cme_accuracy": cme_accuracy,
+                "compile_cache": _compile_cache_section(
+                    compile_cache, cache_counts_before
+                ),
                 # Cross-reference into the span timeline: a traced run's
                 # manifest names the trace its spans belong to.
                 **(
@@ -426,8 +449,38 @@ def run_workloads(
     return run_sweep(cells, workers=workers, cache_dir=cache_dir)
 
 
+def _compile_cache_section(cache, before) -> dict:
+    """The manifest's ``compile_cache`` entry: this run's traffic delta.
+
+    The cache (and its counters) is usually process-wide, so the manifest
+    records only what *this* run contributed -- the counters observed at
+    run start are subtracted out.
+    """
+    if cache is None:
+        return {"enabled": False}
+    after = cache.counter_snapshot()
+    delta = {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] - before.get(name, 0)
+    }
+    totals = {"hits": 0, "misses": 0, "stores": 0}
+    for name, count in delta.items():
+        outcome = name.rpartition(".")[2]
+        key = {"hit": "hits", "miss": "misses", "store": "stores"}.get(outcome)
+        if key is not None:
+            totals[key] += count
+    return {
+        "enabled": True,
+        "store": str(cache.store.root) if cache.store is not None else None,
+        "counters": delta,
+        **totals,
+    }
+
+
 def _build_compiler(config, cme_accuracy, set_fraction, seed, compiler_kwargs,
-                    telemetry=None, fault_plan=None, fault_aware=True):
+                    telemetry=None, fault_plan=None, fault_aware=True,
+                    compile_cache=None):
     return LocationAwareCompiler(
         config,
         cme_accuracy=cme_accuracy,
@@ -436,6 +489,7 @@ def _build_compiler(config, cme_accuracy, set_fraction, seed, compiler_kwargs,
         telemetry=telemetry,
         fault_plan=fault_plan,
         fault_aware=fault_aware,
+        compile_cache=compile_cache,
         **compiler_kwargs,
     )
 
@@ -453,6 +507,7 @@ def compare(
     telemetry: Optional[Telemetry] = None,
     fault_plan=None,
     fault_aware: bool = True,
+    compile_cache="auto",
 ) -> Tuple[Comparison, RunResult, RunResult]:
     """Baseline (default mapping) vs an optimized mapping on one config.
 
@@ -478,6 +533,7 @@ def compare(
         telemetry=telemetry,
         fault_plan=fault_plan,
         fault_aware=fault_aware,
+        compile_cache=compile_cache,
     )
     comparison = Comparison(
         name=workload.name, baseline=base.stats, optimized=opt.stats

@@ -88,6 +88,22 @@ class DegradedDistribution:
     def bank_of_batch(self, addrs):
         return self._bank_lut[self.base.bank_of_batch(addrs)]
 
+    def cache_material(self):
+        """Content-addressed key material (:mod:`repro.compile`).
+
+        Not a dataclass, so the generic manifest normalizer cannot render
+        it field by field; spell out the fields that determine every
+        ``mc_of``/``bank_of`` answer instead.
+        """
+        from repro.obs.manifest import _normalize
+
+        return {
+            "kind": "degraded",
+            "base": _normalize(self.base),
+            "offline_mcs": sorted(self.offline_mcs),
+            "offline_banks": sorted(self.offline_banks),
+        }
+
     def describe(self) -> str:
         parts = [self.base.describe()]
         if self.offline_mcs:

@@ -1,0 +1,143 @@
+"""Cache-transparency differential suite.
+
+The compile cache's headline guarantee: disabled, cold (empty store),
+and warm (populated store, fresh in-process LRU) executions of the same
+run are **byte-identical** -- same ``RunStats`` (as ``dataclasses.
+asdict``), same spatial traffic payload, same decision-event stream --
+for every benchmark in the 21-app suite, on both execution engines, and
+under fault plans (where the fault-aware arm shares the oblivious arm's
+pristine tables).
+
+A warm pass is additionally asserted to actually *hit*: transparency by
+virtue of never looking in the cache would be vacuous.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.compile import CompileCache, reset_compile_cache
+from repro.experiments.harness import run_workload
+from repro.obs import EventStream, Telemetry
+from repro.sim.config import SystemConfig
+from repro.workloads import SUITE_ORDER, build_workload
+
+SCALE = 0.12
+TRIPS = 3
+
+
+@pytest.fixture(autouse=True)
+def _no_process_cache_bleed():
+    """The "disabled" arm must stay disabled even if other tests warmed
+    the process-wide cache; resolve it fresh on both sides."""
+    reset_compile_cache()
+    yield
+    reset_compile_cache()
+
+
+def _observe(workload, config, compile_cache, **kwargs):
+    telemetry = Telemetry(events=EventStream(level="decisions"))
+    result = run_workload(
+        workload,
+        config,
+        mapping="la",
+        scale=SCALE,
+        trips=TRIPS,
+        telemetry=telemetry,
+        compile_cache=compile_cache,
+        **kwargs,
+    )
+    return {
+        "stats": dataclasses.asdict(result.stats),
+        "spatial": (
+            telemetry.spatial.as_dict()
+            if telemetry.spatial is not None
+            else None
+        ),
+        "events": telemetry.events.events,
+    }
+
+
+def _differential(workload, config, tmp_path, **kwargs):
+    """disabled vs cold vs warm; returns the warm cache for hit checks."""
+    store = tmp_path / "compile-store"
+    disabled = _observe(workload, config, compile_cache=False, **kwargs)
+    cold = _observe(
+        workload, config, compile_cache=CompileCache(store_dir=store), **kwargs
+    )
+    warm_cache = CompileCache(store_dir=store)  # fresh LRU -> disk hits
+    warm = _observe(workload, config, compile_cache=warm_cache, **kwargs)
+    assert cold == disabled, "cold cached run diverged from uncached run"
+    assert warm == disabled, "warm cached run diverged from uncached run"
+    return warm_cache
+
+
+@pytest.mark.parametrize("app", SUITE_ORDER)
+def test_cache_transparent_for_every_suite_app_fast_engine(app, tmp_path):
+    warm_cache = _differential(
+        build_workload(app), SystemConfig().fast_engine(), tmp_path
+    )
+    totals = warm_cache.totals()
+    assert totals["misses"] == 0, f"warm {app} run recomputed artifacts"
+    assert totals["hits"] > 0
+
+
+@pytest.mark.parametrize("app", SUITE_ORDER)
+def test_cache_transparent_for_every_suite_app_reference_engine(app, tmp_path):
+    warm_cache = _differential(
+        build_workload(app), SystemConfig().reference_engine(), tmp_path
+    )
+    totals = warm_cache.totals()
+    assert totals["misses"] == 0
+    assert totals["hits"] > 0
+
+
+def test_cache_transparent_under_faults(tmp_path):
+    """Fault-aware compiles (aware + oblivious arms) stay transparent."""
+    from repro.faults import FaultPlan
+
+    plan = FaultPlan.parse(["mc:1:offline", "bank:3:offline", "link:2,3->3,3:down"])
+    warm_cache = _differential(
+        build_workload("mxm"),
+        SystemConfig(),
+        tmp_path,
+        fault_plan=plan,
+        fault_aware=True,
+    )
+    totals = warm_cache.totals()
+    assert totals["misses"] == 0
+    assert totals["hits"] > 0
+
+
+def test_fault_aware_compile_reuses_pristine_tables(tmp_path):
+    """The oblivious arm's tables key carries fault_plan=None, so a
+    fault-aware compile hits the entry a fault-blind compile stored."""
+    from repro.faults import FaultPlan
+
+    store = tmp_path / "compile-store"
+    blind_cache = CompileCache(store_dir=store)
+    _observe(build_workload("mxm"), SystemConfig(), compile_cache=blind_cache)
+
+    plan = FaultPlan.parse(["mc:1:offline"])
+    aware_cache = CompileCache(store_dir=store)
+    _observe(
+        build_workload("mxm"),
+        SystemConfig(),
+        compile_cache=aware_cache,
+        fault_plan=plan,
+        fault_aware=True,
+    )
+    snapshot = aware_cache.counter_snapshot()
+    # Two table lookups (degraded + pristine): the degraded one is this
+    # plan's first sighting, the pristine one replays the blind compile's.
+    assert snapshot.get("tables.hit", 0) >= 1
+    assert snapshot.get("tables.miss", 0) == 1
+
+
+def test_run_results_unaffected_by_cache_mode_at_default_scale(tmp_path):
+    """One spot check away from the reduced suite scale."""
+    _differential(
+        build_workload("mxm"), SystemConfig(), tmp_path, cme_accuracy=1.0
+    )

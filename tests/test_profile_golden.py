@@ -30,6 +30,9 @@ REGEN_VAR = "REPRO_REGEN_GOLDEN"
 VOLATILE_MANIFEST_KEYS = (
     "created_unix", "host", "platform", "python", "version",
     "wall_seconds", "phase_seconds",
+    # Hit/miss deltas depend on how warm the process-wide compile cache
+    # already is, i.e. on which tests ran earlier in this process.
+    "compile_cache",
 )
 
 
@@ -41,6 +44,12 @@ def normalized_profile(capsys) -> dict:
         record["seconds"] = 0.0
     for key in VOLATILE_MANIFEST_KEYS:
         payload["manifest"].pop(key, None)
+    # Hit/miss split depends on process-wide compile-cache warmth.
+    payload["counters"] = {
+        name: value
+        for name, value in payload.get("counters", {}).items()
+        if not name.startswith("compile_cache.")
+    }
     return payload
 
 
